@@ -1,0 +1,309 @@
+// Package bpart is a Go implementation of BPart — the two-dimensional
+// balanced graph partitioning scheme of "Towards Fast Large-scale Graph
+// Analysis via Two-dimensional Balanced Partitioning" (ICPP 2022) —
+// together with everything needed to reproduce the paper's evaluation:
+// the baseline partitioners (Chunk-V, Chunk-E, Fennel, Hash, and an
+// offline multilevel partitioner in the style of Mt-KaHIP), scale-free
+// graph generators, a simulated BSP cluster, a Gemini-like iteration
+// engine (PageRank, Connected Components, BFS) and a KnightKing-like
+// random-walk engine (PPR, RWJ, RWD, DeepWalk, node2vec).
+//
+// This file is the public facade: thin aliases and constructors over the
+// internal packages, so that examples and downstream users program against
+// one import. The full benchmark harness behind EXPERIMENTS.md lives in
+// RunExperiment/Experiments.
+package bpart
+
+import (
+	"fmt"
+
+	"bpart/internal/cluster"
+	"bpart/internal/core"
+	"bpart/internal/embed"
+	"bpart/internal/engine"
+	"bpart/internal/experiments"
+	"bpart/internal/gen"
+	"bpart/internal/gio"
+	"bpart/internal/graph"
+	"bpart/internal/metrics"
+	"bpart/internal/multilevel"
+	"bpart/internal/partition"
+	"bpart/internal/vcut"
+	"bpart/internal/walk"
+)
+
+// ---- graphs ----
+
+// Graph is an immutable CSR directed graph.
+type Graph = graph.Graph
+
+// Builder incrementally assembles a Graph.
+type Builder = graph.Builder
+
+// Edge is a directed arc.
+type Edge = graph.Edge
+
+// VertexID identifies a vertex.
+type VertexID = graph.VertexID
+
+// GraphStats summarizes a graph's degree structure.
+type GraphStats = graph.Stats
+
+// NewBuilder returns a graph builder for n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph from an edge list.
+func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
+// FromAdjacency builds a graph from adjacency lists.
+func FromAdjacency(adj [][]VertexID) *Graph { return graph.FromAdjacency(adj) }
+
+// Stats computes degree statistics.
+func Stats(g *Graph) GraphStats { return graph.ComputeStats(g) }
+
+// ReadGraphFile loads a graph from disk (".bg" binary, else edge-list text).
+func ReadGraphFile(path string) (*Graph, error) { return gio.ReadFile(path) }
+
+// WriteGraphFile saves a graph to disk (format chosen by extension).
+func WriteGraphFile(path string, g *Graph) error { return gio.WriteFile(path, g) }
+
+// WriteAssignmentFile persists a partition assignment (text, one part per
+// vertex) so a partition computed once in preprocessing can be reused by
+// every later analytics job.
+func WriteAssignmentFile(path string, a *Assignment) error {
+	return gio.WriteAssignmentFile(path, a.Parts, a.K)
+}
+
+// ReadAssignmentFile loads a persisted partition assignment.
+func ReadAssignmentFile(path string) (*Assignment, error) {
+	parts, k, err := gio.ReadAssignmentFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Assignment{Parts: parts, K: k}, nil
+}
+
+// ---- generators ----
+
+// GenConfig parameterizes the scale-free Chung–Lu generator.
+type GenConfig = gen.Config
+
+// Dataset names a synthetic stand-in for one of the paper's graphs.
+type Dataset = gen.Dataset
+
+// The synthetic stand-ins for the paper's Table 1 datasets.
+const (
+	LJSim         = gen.LJSim
+	TwitterSim    = gen.TwitterSim
+	FriendsterSim = gen.FriendsterSim
+)
+
+// Generate produces a scale-free graph from cfg.
+func Generate(cfg GenConfig) (*Graph, error) { return gen.ChungLu(cfg) }
+
+// Preset generates a named dataset at the given scale (1.0 = the default
+// experiment size).
+func Preset(d Dataset, scale float64) (*Graph, error) { return gen.Preset(d, scale) }
+
+// Datasets lists the preset names.
+func Datasets() []Dataset { return gen.Datasets() }
+
+// ---- partitioning ----
+
+// Assignment maps each vertex to a part.
+type Assignment = partition.Assignment
+
+// Partitioner is a named partitioning scheme.
+type Partitioner = partition.Partitioner
+
+// Config is BPart's configuration (weighting factor c, balance threshold ε,
+// over-split factor, layer cap).
+type Config = core.Config
+
+// BPart is the two-dimensional balanced partitioner.
+type BPart = core.BPart
+
+// Trace records what each BPart layer did.
+type Trace = core.Trace
+
+// MultilevelConfig configures the Mt-KaHIP-style offline baseline.
+type MultilevelConfig = multilevel.Config
+
+// DefaultConfig returns the paper's default BPart configuration.
+func DefaultConfig() Config { return core.Default() }
+
+// New returns a BPart partitioner; the zero Config selects the defaults.
+func New(cfg Config) (*BPart, error) { return core.New(cfg) }
+
+// NewMultilevel returns the offline multilevel baseline.
+func NewMultilevel(cfg MultilevelConfig) (Partitioner, error) { return multilevel.New(cfg) }
+
+// Schemes lists every registered partitioning scheme ("BPart", "Chunk-V",
+// "Chunk-E", "Fennel", "Hash", "Multilevel").
+func Schemes() []string { return partition.Names() }
+
+// Partition splits g into k parts using the named scheme.
+func Partition(g *Graph, scheme string, k int) (*Assignment, error) {
+	p, err := partition.Get(scheme)
+	if err != nil {
+		return nil, err
+	}
+	return p.Partition(g, k)
+}
+
+// ---- vertex-cut partitioning (the §5 alternative family) ----
+
+// EdgeAssignment maps every arc to a part; vertices whose arcs span parts
+// are replicated.
+type EdgeAssignment = vcut.EdgeAssignment
+
+// VertexCutPartitioner is a vertex-cut (edge-assignment) scheme.
+type VertexCutPartitioner = vcut.Partitioner
+
+// VertexCutReport summarizes a vertex-cut partitioning: per-part edge
+// counts and the replication factor.
+type VertexCutReport = vcut.Report
+
+// Vertex-cut schemes.
+var (
+	// NewRandomEdgeCut hashes each edge to a part.
+	NewRandomEdgeCut = func() VertexCutPartitioner { return vcut.RandomEdge{} }
+	// NewDBH hashes each edge on its lower-degree endpoint.
+	NewDBH = func() VertexCutPartitioner { return vcut.DBH{} }
+	// NewGreedyCut is PowerGraph's streaming placement.
+	NewGreedyCut = func() VertexCutPartitioner { return vcut.Greedy{} }
+	// NewHDRF is High-Degree Replicated First.
+	NewHDRF = func() VertexCutPartitioner { return vcut.HDRF{} }
+)
+
+// EvaluateVertexCut computes the quality report of an edge assignment.
+func EvaluateVertexCut(g *Graph, a *EdgeAssignment) (VertexCutReport, error) {
+	if err := a.Validate(g); err != nil {
+		return VertexCutReport{}, err
+	}
+	return vcut.NewReport(g, a), nil
+}
+
+// ---- quality metrics ----
+
+// Report summarizes partition quality: per-dimension balance (bias and
+// Jain's fairness) and the edge-cut ratio.
+type Report = metrics.Report
+
+// Evaluate computes the quality Report of an assignment.
+func Evaluate(g *Graph, a *Assignment) (Report, error) {
+	if err := a.Validate(g); err != nil {
+		return Report{}, err
+	}
+	return metrics.NewReport(g, a.Parts, a.K, false), nil
+}
+
+// ---- simulated distributed execution ----
+
+// CostModel holds the simulated cluster's unit costs.
+type CostModel = cluster.CostModel
+
+// RunStats aggregates per-iteration BSP timing.
+type RunStats = cluster.RunStats
+
+// DefaultCostModel approximates the paper's testbed ratios.
+func DefaultCostModel() CostModel { return cluster.DefaultCostModel() }
+
+// IterationEngine is the Gemini-like vertex-centric BSP engine.
+type IterationEngine = engine.Engine
+
+// PageRankResult is the outcome of a PageRank run.
+type PageRankResult = engine.PRResult
+
+// ComponentsResult is the outcome of a Connected Components run.
+type ComponentsResult = engine.CCResult
+
+// BFSResult is the outcome of a BFS run.
+type BFSResult = engine.BFSResult
+
+// SSSPResult is the outcome of a single-source shortest paths run.
+type SSSPResult = engine.SSSPResult
+
+// KCoreResult is the outcome of a k-core decomposition run.
+type KCoreResult = engine.KCoreResult
+
+// NewIterationEngine places g on a simulated cluster per the assignment.
+func NewIterationEngine(g *Graph, a *Assignment, model CostModel) (*IterationEngine, error) {
+	if err := a.Validate(g); err != nil {
+		return nil, err
+	}
+	return engine.New(g, a.Parts, a.K, model)
+}
+
+// WalkEngine is the KnightKing-like random-walk engine.
+type WalkEngine = walk.Engine
+
+// WalkConfig selects the walk application and its parameters.
+type WalkConfig = walk.Config
+
+// WalkResult is the outcome of a walk run.
+type WalkResult = walk.Result
+
+// WalkKind selects the walk application.
+type WalkKind = walk.Kind
+
+// The paper's five random-walk applications plus plain random walks and
+// KnightKing-style static-weight biased walks.
+const (
+	SimpleWalk = walk.Simple
+	PPR        = walk.PPR
+	RWJ        = walk.RWJ
+	RWD        = walk.RWD
+	DeepWalk   = walk.DeepWalk
+	Node2Vec   = walk.Node2Vec
+	BiasedWalk = walk.BiasedWalk
+)
+
+// NewWalkEngine places g on a simulated cluster per the assignment.
+func NewWalkEngine(g *Graph, a *Assignment, model CostModel) (*WalkEngine, error) {
+	if err := a.Validate(g); err != nil {
+		return nil, err
+	}
+	return walk.New(g, a.Parts, a.K, model)
+}
+
+// ---- vertex embeddings (the walks' downstream consumer) ----
+
+// EmbedConfig holds skip-gram/negative-sampling hyperparameters.
+type EmbedConfig = embed.Config
+
+// Embeddings holds trained vertex vectors.
+type Embeddings = embed.Embeddings
+
+// TrainEmbeddings learns vertex embeddings from a walk corpus
+// (WalkConfig.CollectPaths) — DeepWalk/node2vec end to end.
+func TrainEmbeddings(corpus [][]VertexID, numVertices int, cfg EmbedConfig) (*Embeddings, error) {
+	return embed.Train(corpus, numVertices, cfg)
+}
+
+// ---- experiment harness ----
+
+// ExperimentOptions configures a reproduction run.
+type ExperimentOptions = experiments.Options
+
+// ExperimentTable is a reproduced table or figure.
+type ExperimentTable = experiments.Table
+
+// Experiments lists the IDs of every reproducible table and figure.
+func Experiments() []string {
+	var ids []string
+	for _, e := range experiments.All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// RunExperiment regenerates one table or figure by ID (see Experiments).
+func RunExperiment(id string, opt ExperimentOptions) (*ExperimentTable, error) {
+	for _, e := range experiments.All() {
+		if e.ID == id {
+			return e.Run(opt)
+		}
+	}
+	return nil, fmt.Errorf("bpart: unknown experiment %q (have %v)", id, Experiments())
+}

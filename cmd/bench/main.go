@@ -1,0 +1,91 @@
+// Command bench regenerates the paper's tables and figures (see
+// EXPERIMENTS.md). By default it runs every experiment at full scale;
+// individual experiments can be selected by ID.
+//
+// Usage:
+//
+//	bench                  # everything at scale 1.0 (EXPERIMENTS.md)
+//	bench -scale 0.2       # quicker, smaller datasets
+//	bench -id "Fig 13" -id "Table 3"
+//	bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bpart"
+)
+
+type idList []string
+
+func (l *idList) String() string     { return fmt.Sprint(*l) }
+func (l *idList) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	var ids idList
+	scale := flag.Float64("scale", 1.0, "dataset scale (1.0 = EXPERIMENTS.md size)")
+	walkers := flag.Int("walkers", 0, "override walkers per vertex (0 = paper defaults)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	csvDir := flag.String("csv", "", "also write each experiment as CSV into this directory")
+	flag.Var(&ids, "id", "experiment ID to run (repeatable; default all)")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bpart.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+	selected := map[string]bool{}
+	for _, id := range ids {
+		selected[id] = true
+	}
+	opt := bpart.ExperimentOptions{Scale: *scale, Walkers: *walkers}
+	fmt.Printf("# bpart experiment run: scale=%.2f\n\n", *scale)
+	failed := 0
+	grand := time.Now()
+	for _, id := range bpart.Experiments() {
+		if len(selected) > 0 && !selected[id] {
+			continue
+		}
+		start := time.Now()
+		tbl, err := bpart.RunExperiment(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Printf("%s   [%.1fs]\n\n", tbl, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, id, tbl); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: csv: %v\n", id, err)
+				failed++
+			}
+		}
+	}
+	fmt.Printf("# total %.1fs\n", time.Since(grand).Seconds())
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func writeCSV(dir, id string, tbl *bpart.ExperimentTable) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.ToLower(strings.ReplaceAll(strings.ReplaceAll(id, " ", "_"), ".", "")) + ".csv"
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tbl.CSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

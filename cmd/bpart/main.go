@@ -1,0 +1,173 @@
+// Command bpart partitions a graph and reports the two-dimensional balance
+// and edge-cut quality of the result — the quantities the paper's
+// evaluation revolves around.
+//
+// Usage:
+//
+//	bpart -scheme BPart -k 8 -graph twitter.el
+//	bpart -scheme Fennel -k 16 -dataset twitter-sim -scale 0.5
+//	bpart -k 8 -dataset friendster-sim -all
+//	bpart -scheme BPart -k 8 -dataset twitter-sim -out parts.txt
+//
+// The input is either a graph file (-graph; edge-list text or ".bg"
+// binary) or a named synthetic dataset (-dataset at -scale). With -all,
+// every registered scheme is run and compared on one line each. With
+// -out, the vertex→part assignment is written one part id per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bpart"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file (edge list, or .bg binary)")
+		datasetID = flag.String("dataset", "", "synthetic dataset: lj-sim, twitter-sim, friendster-sim")
+		scale     = flag.Float64("scale", 1.0, "synthetic dataset scale")
+		scheme    = flag.String("scheme", "BPart", "partitioning scheme (see -list)")
+		k         = flag.Int("k", 8, "number of parts")
+		all       = flag.Bool("all", false, "compare every registered scheme")
+		vcutMode  = flag.Bool("vcut", false, "compare the vertex-cut schemes instead (replication factor)")
+		list      = flag.Bool("list", false, "list registered schemes and exit")
+		outPath   = flag.String("out", "", "write the vertex→part assignment to this file")
+		evalPath  = flag.String("eval", "", "evaluate an existing assignment file instead of partitioning")
+		timeline  = flag.String("timeline", "", "run a 5|V|-walker random walk on the partition and write the per-machine BSP timeline CSV here")
+	)
+	flag.Parse()
+	if *list {
+		for _, s := range bpart.Schemes() {
+			fmt.Println(s)
+		}
+		return
+	}
+	g, err := loadGraph(*graphPath, *datasetID, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: %v (%v)\n", g, bpart.Stats(g))
+
+	if *evalPath != "" {
+		a, err := bpart.ReadAssignmentFile(*evalPath)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := bpart.Evaluate(g, a)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stored assignment %s:\n%s\n", *evalPath, r)
+		return
+	}
+
+	if *vcutMode {
+		fmt.Printf("%-12s %12s %12s\n", "scheme", "repl.factor", "max replicas")
+		for _, p := range []bpart.VertexCutPartitioner{
+			bpart.NewRandomEdgeCut(), bpart.NewDBH(), bpart.NewGreedyCut(), bpart.NewHDRF(),
+		} {
+			ea, err := p.Partition(g, *k)
+			if err != nil {
+				fatal(err)
+			}
+			r, err := bpart.EvaluateVertexCut(g, ea)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-12s %12.3f %12d\n", p.Name(), r.ReplicationFactor, r.MaxReplicas)
+		}
+		return
+	}
+
+	if *all {
+		fmt.Printf("%-12s %10s %10s %10s %10s %10s %10s\n",
+			"scheme", "Vbias", "Ebias", "Vjain", "Ejain", "cut", "time(s)")
+		for _, s := range bpart.Schemes() {
+			r, dt, err := run(g, s, *k)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-12s %10.4f %10.4f %10.4f %10.4f %10.4f %10.3f\n",
+				s, r.VertexBias, r.EdgeBias, r.VertexJain, r.EdgeJain, r.CutRatio, dt.Seconds())
+		}
+		return
+	}
+
+	start := time.Now()
+	a, err := bpart.Partition(g, *scheme, *k)
+	if err != nil {
+		fatal(err)
+	}
+	dt := time.Since(start)
+	r, err := bpart.Evaluate(g, a)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s into %d parts in %.3fs\n%s\n", *scheme, *k, dt.Seconds(), r)
+	if *outPath != "" {
+		if err := bpart.WriteAssignmentFile(*outPath, a); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("assignment written to %s\n", *outPath)
+	}
+	if *timeline != "" {
+		if err := writeWalkTimeline(*timeline, g, a); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("BSP timeline written to %s\n", *timeline)
+	}
+}
+
+// writeWalkTimeline runs the paper's 5|V|-walker, 4-step workload on the
+// placement and dumps the per-machine, per-iteration timing as CSV.
+func writeWalkTimeline(path string, g *bpart.Graph, a *bpart.Assignment) error {
+	eng, err := bpart.NewWalkEngine(g, a, bpart.DefaultCostModel())
+	if err != nil {
+		return err
+	}
+	res, err := eng.Run(bpart.WalkConfig{Kind: bpart.SimpleWalk, WalkersPerVertex: 5, Steps: 4, Seed: 1})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.Stats.WriteTimeline(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func loadGraph(path, datasetID string, scale float64) (*bpart.Graph, error) {
+	switch {
+	case path != "" && datasetID != "":
+		return nil, fmt.Errorf("use either -graph or -dataset, not both")
+	case path != "":
+		return bpart.ReadGraphFile(path)
+	case datasetID != "":
+		return bpart.Preset(bpart.Dataset(datasetID), scale)
+	default:
+		return nil, fmt.Errorf("one of -graph or -dataset is required")
+	}
+}
+
+func run(g *bpart.Graph, scheme string, k int) (bpart.Report, time.Duration, error) {
+	start := time.Now()
+	a, err := bpart.Partition(g, scheme, k)
+	if err != nil {
+		return bpart.Report{}, 0, err
+	}
+	dt := time.Since(start)
+	r, err := bpart.Evaluate(g, a)
+	return r, dt, err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bpart:", err)
+	os.Exit(1)
+}

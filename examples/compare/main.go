@@ -1,0 +1,57 @@
+// Compare: the full partitioner comparison across all three synthetic
+// datasets — the paper's Fig 10 / Table 3 view — plus the BPart layer
+// trace, showing the over-split-then-combine process converging.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bpart"
+)
+
+func main() {
+	const k = 8
+	fmt.Printf("%-16s %-11s %8s %8s %8s  %s\n", "graph", "scheme", "Vbias", "Ebias", "cut", "")
+	for _, d := range bpart.Datasets() {
+		g, err := bpart.Preset(d, 0.1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, scheme := range bpart.Schemes() {
+			a, err := bpart.Partition(g, scheme, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := bpart.Evaluate(g, a)
+			if err != nil {
+				log.Fatal(err)
+			}
+			marker := ""
+			if r.VertexBias <= 0.1 && r.EdgeBias <= 0.1 {
+				marker = "<- 2D balanced"
+			}
+			fmt.Printf("%-16s %-11s %8.4f %8.4f %8.4f  %s\n",
+				d, scheme, r.VertexBias, r.EdgeBias, r.CutRatio, marker)
+		}
+	}
+
+	// Show BPart's two-phase process layer by layer on twitter-sim.
+	g, err := bpart.Preset(bpart.TwitterSim, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bp, err := bpart.New(bpart.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, trace, err := bp.PartitionWithTrace(g, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nBPart layer trace (twitter-sim, k=%d):\n", k)
+	for _, l := range trace.Layers {
+		fmt.Printf("  layer %d: over-split remaining graph into %d pieces, combined, froze %d balanced subgraphs (%d still unbalanced)\n",
+			l.Layer, l.Pieces, l.Finalized, l.RemainingNr)
+	}
+}

@@ -1,0 +1,75 @@
+// Randomwalk: the paper's motivating workload. Runs DeepWalk on the
+// KnightKing-like simulated cluster under every partitioning scheme and
+// shows how the two-dimensional balance of BPart turns into less waiting
+// time and a shorter run (Figs 13 and 14).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bpart"
+)
+
+func main() {
+	g, err := bpart.Preset(bpart.TwitterSim, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("graph:", bpart.Stats(g))
+	const machines = 8
+
+	fmt.Printf("\nDeepWalk, %d machines, 1 walker/vertex, 10 steps:\n", machines)
+	fmt.Printf("%-10s %14s %14s %12s %12s\n", "scheme", "sim time", "wait ratio", "msg walks", "steps")
+
+	var baseline float64
+	for _, scheme := range []string{"Chunk-V", "Chunk-E", "Fennel", "Hash", "BPart"} {
+		a, err := bpart.Partition(g, scheme, machines)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := bpart.NewWalkEngine(g, a, bpart.DefaultCostModel())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Run(bpart.WalkConfig{
+			Kind:             bpart.DeepWalk,
+			WalkersPerVertex: 1,
+			Steps:            10,
+			Seed:             7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := res.Stats.TotalTime()
+		if scheme == "Chunk-V" {
+			baseline = total
+		}
+		fmt.Printf("%-10s %11.1f ms %14.3f %12d %12d   (%.2fx Chunk-V)\n",
+			scheme, total/1000, res.Stats.WaitRatio(), res.MessageWalks, res.TotalSteps, total/baseline)
+	}
+
+	// Second-order walks: node2vec with return parameter p and in-out q,
+	// sampled with KnightKing-style rejection sampling.
+	a, err := bpart.Partition(g, "BPart", machines)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := bpart.NewWalkEngine(g, a, bpart.DefaultCostModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	n2v, err := eng.Run(bpart.WalkConfig{
+		Kind:             bpart.Node2Vec,
+		WalkersPerVertex: 1,
+		Steps:            10,
+		P:                4,
+		Q:                0.25,
+		Seed:             7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnode2vec (p=4, q=0.25) on BPart: %.1f ms simulated, %d steps, %d message walks\n",
+		n2v.Stats.TotalTime()/1000, n2v.TotalSteps, n2v.MessageWalks)
+}

@@ -1,0 +1,3 @@
+module bpart
+
+go 1.22

@@ -1,0 +1,292 @@
+// Package cluster simulates the paper's testbed: a cluster of machines
+// running bulk-synchronous-parallel (BSP) graph computations (§2.1, Fig 1).
+//
+// The paper's performance metrics — per-machine compute time per iteration
+// (Fig 12), waiting-time ratio (Fig 13), normalized running time (Figs 14,
+// 15) — are relative quantities determined by load balance and cut-edge
+// traffic, not by absolute hardware speed. The simulation therefore charges
+// deterministic unit costs per walk step, per edge traversal, per vertex
+// update and per cross-machine message, and derives BSP timing exactly:
+// within an iteration every machine computes in parallel, then exchanges
+// messages, then all barrier; the iteration lasts as long as its slowest
+// machine, and every faster machine's surplus is waiting time — the
+// synchronization overhead BPart attacks.
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// CostModel holds unit costs in microseconds. Only ratios matter for the
+// reproduced figures.
+type CostModel struct {
+	// StepCost is charged per random-walk step executed (walk engine).
+	StepCost float64
+	// EdgeCost is charged per edge traversed (iteration engine).
+	EdgeCost float64
+	// VertexCost is charged per vertex update (iteration engine).
+	VertexCost float64
+	// MessageCost is charged per cross-machine message sent.
+	MessageCost float64
+	// Latency is a fixed per-iteration barrier/network setup cost.
+	Latency float64
+	// Pipelined overlaps the computation and communication phases the
+	// way some systems do (§2.1: "the computation and communication
+	// phases may be processed in a pipelined fashion"): iteration time
+	// becomes max(compute, comm) instead of compute + comm.
+	Pipelined bool
+	// Speeds, when non-nil, gives each machine a relative compute speed
+	// (1.0 = nominal; 0.5 = half speed). It models heterogeneous
+	// clusters, where uniformly balanced partitions are no longer the
+	// optimum — the Hetero ablation quantifies this. Length must equal
+	// the machine count.
+	Speeds []float64
+}
+
+// DefaultCostModel approximates the paper's testbed ratios: a walk step or
+// vertex update is ~10 ns of CPU, an edge traversal ~2 ns, and a message
+// ~40 ns of effective per-message cost on a fast network with batching.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		StepCost:    0.010,
+		EdgeCost:    0.002,
+		VertexCost:  0.010,
+		MessageCost: 0.040,
+		Latency:     50,
+	}
+}
+
+// Cluster is a set of simulated machines plus the vertex→machine placement
+// produced by a partitioner.
+type Cluster struct {
+	numMachines int
+	owner       []int // vertex -> machine
+	model       CostModel
+}
+
+// New builds a cluster of k machines owning vertices per assignment.
+func New(assignment []int, k int, model CostModel) (*Cluster, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: %d machines", k)
+	}
+	if model.Speeds != nil {
+		if len(model.Speeds) != k {
+			return nil, fmt.Errorf("cluster: %d speeds for %d machines", len(model.Speeds), k)
+		}
+		for i, s := range model.Speeds {
+			if s <= 0 {
+				return nil, fmt.Errorf("cluster: machine %d speed %v, want > 0", i, s)
+			}
+		}
+	}
+	for v, p := range assignment {
+		if p < 0 || p >= k {
+			return nil, fmt.Errorf("cluster: vertex %d owned by machine %d, want [0,%d)", v, p, k)
+		}
+	}
+	return &Cluster{numMachines: k, owner: assignment, model: model}, nil
+}
+
+// NumMachines returns the machine count.
+func (c *Cluster) NumMachines() int { return c.numMachines }
+
+// Owner returns the machine owning vertex v.
+func (c *Cluster) Owner(v uint32) int { return c.owner[v] }
+
+// Model returns the cost model.
+func (c *Cluster) Model() CostModel { return c.model }
+
+// Counters accumulates one iteration's per-machine work. Engines fill it
+// during a superstep (each machine writes only its own slot, so concurrent
+// machine goroutines need no locking) and pass it to FinishIteration.
+type Counters struct {
+	Steps    []int64 // walk steps executed
+	Edges    []int64 // edges traversed
+	Vertices []int64 // vertex updates applied
+	Messages []int64 // cross-machine messages sent
+}
+
+// NewCounters returns zeroed counters for this cluster.
+func (c *Cluster) NewCounters() *Counters {
+	return &Counters{
+		Steps:    make([]int64, c.numMachines),
+		Edges:    make([]int64, c.numMachines),
+		Vertices: make([]int64, c.numMachines),
+		Messages: make([]int64, c.numMachines),
+	}
+}
+
+// IterationStats is the timing of one BSP iteration.
+type IterationStats struct {
+	// Compute[i] is machine i's computation time.
+	Compute []float64
+	// Comm[i] is machine i's communication time.
+	Comm []float64
+	// Waiting[i] is machine i's idle time at the two phase barriers.
+	Waiting []float64
+	// Time is the iteration's wall-clock duration:
+	// max(Compute) + max(Comm) + Latency.
+	Time float64
+	// Work echoes the raw counters the stats were derived from.
+	Work Counters
+}
+
+// FinishIteration converts raw work counters into BSP timing.
+func (c *Cluster) FinishIteration(w *Counters) IterationStats {
+	k := c.numMachines
+	st := IterationStats{
+		Compute: make([]float64, k),
+		Comm:    make([]float64, k),
+		Waiting: make([]float64, k),
+		Work: Counters{
+			Steps:    append([]int64(nil), w.Steps...),
+			Edges:    append([]int64(nil), w.Edges...),
+			Vertices: append([]int64(nil), w.Vertices...),
+			Messages: append([]int64(nil), w.Messages...),
+		},
+	}
+	m := c.model
+	var maxCompute, maxComm float64
+	for i := 0; i < k; i++ {
+		st.Compute[i] = m.StepCost*float64(w.Steps[i]) +
+			m.EdgeCost*float64(w.Edges[i]) +
+			m.VertexCost*float64(w.Vertices[i])
+		if m.Speeds != nil {
+			st.Compute[i] /= m.Speeds[i]
+		}
+		st.Comm[i] = m.MessageCost * float64(w.Messages[i])
+		if st.Compute[i] > maxCompute {
+			maxCompute = st.Compute[i]
+		}
+		if st.Comm[i] > maxComm {
+			maxComm = st.Comm[i]
+		}
+	}
+	if m.Pipelined {
+		phase := maxCompute
+		if maxComm > phase {
+			phase = maxComm
+		}
+		st.Time = phase + m.Latency
+		for i := 0; i < k; i++ {
+			busy := st.Compute[i]
+			if st.Comm[i] > busy {
+				busy = st.Comm[i]
+			}
+			st.Waiting[i] = phase - busy
+		}
+		return st
+	}
+	st.Time = maxCompute + maxComm + m.Latency
+	for i := 0; i < k; i++ {
+		st.Waiting[i] = (maxCompute - st.Compute[i]) + (maxComm - st.Comm[i])
+	}
+	return st
+}
+
+// RunStats aggregates a whole computation.
+type RunStats struct {
+	Iterations []IterationStats
+}
+
+// Add appends one iteration.
+func (r *RunStats) Add(st IterationStats) { r.Iterations = append(r.Iterations, st) }
+
+// TotalTime is the simulated wall-clock time of the run.
+func (r *RunStats) TotalTime() float64 {
+	var t float64
+	for _, it := range r.Iterations {
+		t += it.Time
+	}
+	return t
+}
+
+// TotalWaiting sums every machine's waiting time across all iterations.
+func (r *RunStats) TotalWaiting() float64 {
+	var w float64
+	for _, it := range r.Iterations {
+		for _, x := range it.Waiting {
+			w += x
+		}
+	}
+	return w
+}
+
+// WaitRatio is the paper's Fig 13 metric: total waiting time of all
+// machines divided by (total running time × machine count) — the share of
+// cluster capacity wasted at barriers.
+func (r *RunStats) WaitRatio() float64 {
+	if len(r.Iterations) == 0 {
+		return 0
+	}
+	k := len(r.Iterations[0].Compute)
+	total := r.TotalTime() * float64(k)
+	if total == 0 {
+		return 0
+	}
+	return r.TotalWaiting() / total
+}
+
+// TotalMessages counts every cross-machine message of the run.
+func (r *RunStats) TotalMessages() int64 {
+	var m int64
+	for _, it := range r.Iterations {
+		for _, x := range it.Work.Messages {
+			m += x
+		}
+	}
+	return m
+}
+
+// ComputeByMachine returns each machine's summed compute time.
+func (r *RunStats) ComputeByMachine() []float64 {
+	if len(r.Iterations) == 0 {
+		return nil
+	}
+	out := make([]float64, len(r.Iterations[0].Compute))
+	for _, it := range r.Iterations {
+		for i, c := range it.Compute {
+			out[i] += c
+		}
+	}
+	return out
+}
+
+// WriteTimeline writes the run as CSV rows
+// (iteration, machine, compute, comm, waiting, steps, edges, messages),
+// one per machine per iteration — the raw data behind the paper's Fig 12
+// per-machine bar charts.
+func (r *RunStats) WriteTimeline(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "iteration,machine,compute,comm,waiting,steps,edges,messages"); err != nil {
+		return err
+	}
+	for it, st := range r.Iterations {
+		for m := range st.Compute {
+			if _, err := fmt.Fprintf(bw, "%d,%d,%.3f,%.3f,%.3f,%d,%d,%d\n",
+				it, m, st.Compute[m], st.Comm[m], st.Waiting[m],
+				st.Work.Steps[m], st.Work.Edges[m], st.Work.Messages[m]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Parallel runs fn(machine) concurrently for every machine and waits for
+// all of them — one BSP phase. Machines must confine their writes to their
+// own counter slots and per-machine state.
+func (c *Cluster) Parallel(fn func(machine int)) {
+	var wg sync.WaitGroup
+	wg.Add(c.numMachines)
+	for i := 0; i < c.numMachines; i++ {
+		go func(machine int) {
+			defer wg.Done()
+			fn(machine)
+		}(i)
+	}
+	wg.Wait()
+}

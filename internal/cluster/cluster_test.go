@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, assignment []int, k int) *Cluster {
+	t.Helper()
+	c, err := New(assignment, k, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]int{0, 1}, 0, DefaultCostModel()); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := New([]int{0, 5}, 2, DefaultCostModel()); err == nil {
+		t.Fatal("out-of-range owner accepted")
+	}
+	c := mustNew(t, []int{0, 1, 1}, 2)
+	if c.NumMachines() != 2 {
+		t.Fatalf("NumMachines = %d", c.NumMachines())
+	}
+	if c.Owner(2) != 1 {
+		t.Fatalf("Owner(2) = %d", c.Owner(2))
+	}
+}
+
+func TestFinishIterationTiming(t *testing.T) {
+	model := CostModel{StepCost: 1, EdgeCost: 0, VertexCost: 0, MessageCost: 2, Latency: 10}
+	c, err := New([]int{0, 1}, 2, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.NewCounters()
+	w.Steps[0] = 100 // compute 100
+	w.Steps[1] = 40  // compute 40
+	w.Messages[0] = 5
+	w.Messages[1] = 10 // comm 20
+	st := c.FinishIteration(w)
+	if st.Compute[0] != 100 || st.Compute[1] != 40 {
+		t.Fatalf("compute %v", st.Compute)
+	}
+	if st.Comm[0] != 10 || st.Comm[1] != 20 {
+		t.Fatalf("comm %v", st.Comm)
+	}
+	// Time = maxCompute(100) + maxComm(20) + latency(10)
+	if st.Time != 130 {
+		t.Fatalf("Time = %v, want 130", st.Time)
+	}
+	// Waiting: machine 0 waits 0 compute + 10 comm; machine 1 waits 60+0.
+	if st.Waiting[0] != 10 || st.Waiting[1] != 60 {
+		t.Fatalf("Waiting = %v", st.Waiting)
+	}
+}
+
+func TestFinishIterationCopiesCounters(t *testing.T) {
+	c := mustNew(t, []int{0}, 1)
+	w := c.NewCounters()
+	w.Steps[0] = 7
+	st := c.FinishIteration(w)
+	w.Steps[0] = 99
+	if st.Work.Steps[0] != 7 {
+		t.Fatal("IterationStats aliases live counters")
+	}
+}
+
+func TestRunStatsAggregation(t *testing.T) {
+	model := CostModel{StepCost: 1, MessageCost: 1, Latency: 0}
+	c, err := New([]int{0, 1}, 2, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run RunStats
+	for i := 0; i < 3; i++ {
+		w := c.NewCounters()
+		w.Steps[0] = 10
+		w.Steps[1] = 10
+		w.Messages[0] = 2
+		run.Add(c.FinishIteration(w))
+	}
+	if got := run.TotalTime(); got != 3*(10+2) {
+		t.Fatalf("TotalTime = %v", got)
+	}
+	if got := run.TotalMessages(); got != 6 {
+		t.Fatalf("TotalMessages = %d", got)
+	}
+	// machine 1 waits 2 comm units per iteration.
+	if got := run.TotalWaiting(); got != 6 {
+		t.Fatalf("TotalWaiting = %v", got)
+	}
+	wantRatio := 6.0 / (36 * 2)
+	if got := run.WaitRatio(); math.Abs(got-wantRatio) > 1e-12 {
+		t.Fatalf("WaitRatio = %v, want %v", got, wantRatio)
+	}
+	cb := run.ComputeByMachine()
+	if cb[0] != 30 || cb[1] != 30 {
+		t.Fatalf("ComputeByMachine = %v", cb)
+	}
+}
+
+func TestRunStatsEmpty(t *testing.T) {
+	var run RunStats
+	if run.WaitRatio() != 0 || run.TotalTime() != 0 || run.ComputeByMachine() != nil {
+		t.Fatal("empty RunStats not zero")
+	}
+}
+
+func TestBalancedLoadZeroWaiting(t *testing.T) {
+	c := mustNew(t, []int{0, 1, 2, 3}, 4)
+	w := c.NewCounters()
+	for i := range w.Steps {
+		w.Steps[i] = 1000
+		w.Messages[i] = 50
+	}
+	st := c.FinishIteration(w)
+	for i, wt := range st.Waiting {
+		if wt != 0 {
+			t.Fatalf("machine %d waits %v under perfect balance", i, wt)
+		}
+	}
+}
+
+func TestPipelinedTiming(t *testing.T) {
+	model := CostModel{StepCost: 1, MessageCost: 2, Latency: 10, Pipelined: true}
+	c, err := New([]int{0, 1}, 2, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.NewCounters()
+	w.Steps[0] = 100   // compute 100
+	w.Messages[1] = 30 // comm 60
+	st := c.FinishIteration(w)
+	// Pipelined: time = max(100, 60) + 10.
+	if st.Time != 110 {
+		t.Fatalf("pipelined Time = %v, want 110", st.Time)
+	}
+	// Machine 0 busy 100 (compute-bound), waits 0; machine 1 busy 60, waits 40.
+	if st.Waiting[0] != 0 || st.Waiting[1] != 40 {
+		t.Fatalf("pipelined Waiting = %v", st.Waiting)
+	}
+}
+
+func TestPipelinedNeverSlower(t *testing.T) {
+	base := DefaultCostModel()
+	pipe := base
+	pipe.Pipelined = true
+	c1, _ := New([]int{0, 1, 2}, 3, base)
+	c2, _ := New([]int{0, 1, 2}, 3, pipe)
+	w := c1.NewCounters()
+	for i := range w.Steps {
+		w.Steps[i] = int64(100 * (i + 1))
+		w.Messages[i] = int64(50 * (3 - i))
+	}
+	t1 := c1.FinishIteration(w)
+	t2 := c2.FinishIteration(w)
+	if t2.Time > t1.Time {
+		t.Fatalf("pipelined time %v exceeds sequential %v", t2.Time, t1.Time)
+	}
+}
+
+func TestSpeedsValidation(t *testing.T) {
+	m := DefaultCostModel()
+	m.Speeds = []float64{1}
+	if _, err := New([]int{0, 1}, 2, m); err == nil {
+		t.Fatal("speed length mismatch accepted")
+	}
+	m.Speeds = []float64{1, 0}
+	if _, err := New([]int{0, 1}, 2, m); err == nil {
+		t.Fatal("zero speed accepted")
+	}
+}
+
+func TestSpeedsSlowMachineTakesLonger(t *testing.T) {
+	m := CostModel{StepCost: 1, Speeds: []float64{0.5, 1}}
+	c, err := New([]int{0, 1}, 2, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.NewCounters()
+	w.Steps[0] = 100
+	w.Steps[1] = 100
+	st := c.FinishIteration(w)
+	if st.Compute[0] != 200 || st.Compute[1] != 100 {
+		t.Fatalf("compute %v, want [200 100]", st.Compute)
+	}
+	if st.Waiting[1] != 100 {
+		t.Fatalf("fast machine waiting %v, want 100", st.Waiting[1])
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	c := mustNew(t, []int{0, 1}, 2)
+	var run RunStats
+	w := c.NewCounters()
+	w.Steps[0] = 5
+	w.Messages[1] = 3
+	run.Add(c.FinishIteration(w))
+	var buf strings.Builder
+	if err := run.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // header + 2 machines × 1 iteration
+		t.Fatalf("timeline lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "iteration,machine,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,0,") || !strings.HasPrefix(lines[2], "0,1,") {
+		t.Fatalf("rows wrong:\n%s", buf.String())
+	}
+}
+
+func TestParallelRunsAllMachines(t *testing.T) {
+	c := mustNew(t, []int{0, 0, 1, 2}, 3)
+	var ran int64
+	c.Parallel(func(machine int) {
+		atomic.AddInt64(&ran, 1<<machine)
+	})
+	if ran != 1+2+4 {
+		t.Fatalf("machines run mask = %b", ran)
+	}
+}
+
+// Property: waiting is non-negative, the slowest machine never waits in its
+// dominant phase, and Time ≥ every machine's own busy time.
+func TestQuickTimingInvariants(t *testing.T) {
+	f := func(steps, msgs [4]uint16) bool {
+		c, err := New([]int{0, 1, 2, 3}, 4, DefaultCostModel())
+		if err != nil {
+			return false
+		}
+		w := c.NewCounters()
+		for i := 0; i < 4; i++ {
+			w.Steps[i] = int64(steps[i])
+			w.Messages[i] = int64(msgs[i])
+		}
+		st := c.FinishIteration(w)
+		for i := 0; i < 4; i++ {
+			if st.Waiting[i] < -1e9 {
+				return false
+			}
+			busy := st.Compute[i] + st.Comm[i]
+			if st.Time < busy {
+				return false
+			}
+			if math.Abs(st.Time-(busy+st.Waiting[i]+c.Model().Latency)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

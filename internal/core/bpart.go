@@ -1,0 +1,342 @@
+// Package core implements BPart, the paper's contribution: a
+// two-dimensional balanced graph partitioner (§3).
+//
+// BPart runs in two phases. The partitioning phase over-splits the graph
+// into more pieces than the requested part count using the weighted
+// streaming engine of internal/partition with the balance indicator
+//
+//	W_i = c·|V_i| + (1−c)·|E_i|/d̄            (Eq. 1, c = ½ by default)
+//
+// so that no piece is extreme in either dimension and — because equal W
+// forces a trade-off — pieces with fewer vertices carry more edges and vice
+// versa (Fig 8). The combining phase sorts pieces by vertex count and pairs
+// the vertex-lightest (edge-heaviest) with the vertex-heaviest
+// (edge-lightest), repeatedly, until the requested number of subgraphs
+// remains. Combined subgraphs within the balance threshold in BOTH
+// dimensions are frozen; the rest are dissolved and re-partitioned at the
+// next layer with a doubled over-split factor (Fig 9), typically converging
+// in two or three layers.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bpart/internal/graph"
+	"bpart/internal/partition"
+)
+
+// Config holds BPart's tuning knobs. The zero value selects the paper's
+// defaults via Normalize.
+type Config struct {
+	// C is the weighting factor c of Eq. 1 in [0,1]. Default 0.5.
+	C float64
+	// Alpha, Gamma, Slack tune the streaming score (Eq. 2); non-positive
+	// values select the Fennel standards (auto α, γ=1.5, ν=1.1).
+	Alpha, Gamma, Slack float64
+	// Epsilon is the per-dimension balance threshold: a combined subgraph
+	// is final when both |V_i| and |E_i| are within (1±ε) of the global
+	// per-part mean. Default 0.1 (matching the paper's "bias always
+	// below 0.1").
+	Epsilon float64
+	// SplitFactor is the over-split base: layer ℓ splits the remaining
+	// graph into SplitFactor^ℓ · N_r pieces. Must be a power of two ≥ 2.
+	// Default 2 (the paper's 2N, then 4N_r, ...).
+	SplitFactor int
+	// MaxLayers caps the number of combining layers; the final layer
+	// accepts its result unconditionally. Default 4.
+	MaxLayers int
+	// DisableRefine turns off the final move-based refinement pass.
+	// The pass (see refine.go) is an addition over the paper: it repairs
+	// the residual imbalance left when the combining recursion hits
+	// MaxLayers, which happens when hub mass is too concentrated for
+	// pairwise combining alone. Off, BPart is exactly the paper's
+	// two-phase algorithm.
+	DisableRefine bool
+}
+
+// Normalize fills defaults and validates the configuration.
+func (c *Config) Normalize() error {
+	if c.C == 0 && c.Alpha == 0 && c.Gamma == 0 && c.Slack == 0 && c.Epsilon == 0 && c.SplitFactor == 0 && c.MaxLayers == 0 {
+		*c = Default()
+		return nil
+	}
+	if c.C < 0 || c.C > 1 {
+		return fmt.Errorf("core: C = %v, want in [0,1]", c.C)
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.1
+	}
+	if c.SplitFactor == 0 {
+		c.SplitFactor = 2
+	}
+	if c.SplitFactor < 2 || c.SplitFactor&(c.SplitFactor-1) != 0 {
+		return fmt.Errorf("core: SplitFactor = %d, want a power of two ≥ 2", c.SplitFactor)
+	}
+	if c.MaxLayers <= 0 {
+		c.MaxLayers = 4
+	}
+	return nil
+}
+
+// Default returns the paper's default configuration: c=½, ε=0.1, 2× split,
+// up to 4 layers, standard Fennel streaming parameters.
+func Default() Config {
+	return Config{C: 0.5, Epsilon: 0.1, SplitFactor: 2, MaxLayers: 4}
+}
+
+// BPart is the two-dimensional balanced partitioner. It implements
+// partition.Partitioner.
+type BPart struct {
+	cfg Config
+}
+
+// New returns a BPart with the given configuration. An all-zero Config
+// selects the defaults.
+func New(cfg Config) (*BPart, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	return &BPart{cfg: cfg}, nil
+}
+
+// Name implements partition.Partitioner.
+func (*BPart) Name() string { return "BPart" }
+
+// Config returns the normalized configuration.
+func (b *BPart) Config() Config { return b.cfg }
+
+// LayerTrace records what one layer of the two-phase process did; the
+// experiment harness uses it for Fig 8 (piece-level distributions) and the
+// convergence ablation.
+type LayerTrace struct {
+	Layer       int
+	Pieces      int
+	PieceV      []int // per-piece |V_i| after the partitioning phase
+	PieceE      []int // per-piece |E_i|
+	CombinedV   []int // per-group |V_i| after this layer's combining rounds
+	CombinedE   []int
+	Finalized   int // groups frozen at this layer
+	RemainingNr int // groups dissolved into the next layer
+}
+
+// Trace is the full history of a PartitionWithTrace call.
+type Trace struct {
+	Layers []LayerTrace
+}
+
+// Partition implements partition.Partitioner.
+func (b *BPart) Partition(g *graph.Graph, k int) (*partition.Assignment, error) {
+	a, _, err := b.PartitionWithTrace(g, k)
+	return a, err
+}
+
+// PartitionWithTrace partitions g into k two-dimensionally balanced
+// subgraphs and returns the per-layer trace.
+func (b *BPart) PartitionWithTrace(g *graph.Graph, k int) (*partition.Assignment, *Trace, error) {
+	if g == nil {
+		return nil, nil, fmt.Errorf("core: nil graph")
+	}
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("core: k = %d, want > 0", k)
+	}
+	n := g.NumVertices()
+	final := make([]int, n)
+	for i := range final {
+		final[i] = partition.Unassigned
+	}
+	if k == 1 {
+		for i := range final {
+			final[i] = 0
+		}
+		return &partition.Assignment{Parts: final, K: 1}, &Trace{}, nil
+	}
+
+	targetV := float64(n) / float64(k)
+	targetE := float64(g.NumEdges()) / float64(k)
+	trace := &Trace{}
+	// Undirected affinity (Fennel's N(v)) needs the reversed adjacency;
+	// build it once and reuse it across every layer's stream.
+	in := g.Transpose()
+
+	remaining := make([]graph.VertexID, n)
+	for v := range remaining {
+		remaining[v] = graph.VertexID(v)
+	}
+	nr := k        // parts still to produce
+	nextFinal := 0 // next final part id
+
+	for layer := 1; nr > 0; layer++ {
+		if len(remaining) == 0 {
+			return nil, nil, fmt.Errorf("core: %d parts still to produce but no vertices remain", nr)
+		}
+		last := layer >= b.cfg.MaxLayers || nr == 1
+		pieces := nr * pow(b.cfg.SplitFactor, layer)
+		// Never use more pieces than remaining vertices.
+		if pieces > len(remaining) {
+			pieces = len(remaining)
+		}
+		if pieces < nr {
+			pieces = nr
+		}
+		slack := b.cfg.Slack
+		if slack <= 0 {
+			slack = 1.1
+		}
+		var ms int
+		for _, v := range remaining {
+			ms += g.OutDegree(v)
+		}
+		res, err := partition.Stream(g, partition.StreamOptions{
+			K:        pieces,
+			C:        b.cfg.C,
+			Alpha:    b.cfg.Alpha,
+			Gamma:    b.cfg.Gamma,
+			Slack:    b.cfg.Slack,
+			Vertices: remaining,
+			CapV:     int(slack*float64(len(remaining))/float64(pieces)) + 1,
+			CapE:     int(slack*float64(ms)/float64(pieces)) + 1,
+			In:       in,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: layer %d stream: %w", layer, err)
+		}
+		lt := LayerTrace{
+			Layer:  layer,
+			Pieces: pieces,
+			PieceV: append([]int(nil), res.VertexCount...),
+			PieceE: append([]int(nil), res.EdgeCount...),
+		}
+
+		groups := make([]group, pieces)
+		for i := range groups {
+			groups[i] = group{v: res.VertexCount[i], e: res.EdgeCount[i], pieces: []int{i}}
+		}
+		// Combining rounds (Fig 9): each round at most halves the group
+		// count, pairing vertex-lightest with vertex-heaviest, until
+		// exactly nr groups remain. With the unclamped piece count this
+		// takes layer·log2(SplitFactor) rounds.
+		for len(groups) > nr {
+			target := (len(groups) + 1) / 2
+			if target < nr {
+				target = nr
+			}
+			groups = combineRound(groups, target)
+		}
+
+		// Freeze balanced groups; dissolve the rest.
+		pieceToFinal := make([]int, pieces)
+		for i := range pieceToFinal {
+			pieceToFinal[i] = partition.Unassigned
+		}
+		var nextRemainingGroups []group
+		for _, grp := range groups {
+			lt.CombinedV = append(lt.CombinedV, grp.v)
+			lt.CombinedE = append(lt.CombinedE, grp.e)
+			if last || b.balanced(grp, targetV, targetE) {
+				for _, p := range grp.pieces {
+					pieceToFinal[p] = nextFinal
+				}
+				nextFinal++
+				lt.Finalized++
+			} else {
+				nextRemainingGroups = append(nextRemainingGroups, grp)
+			}
+		}
+		// Map vertices of frozen groups to their final part; collect the
+		// rest for the next layer, preserving ID order for stream
+		// locality.
+		var nextRemaining []graph.VertexID
+		for _, v := range remaining {
+			p := res.Parts[v]
+			if f := pieceToFinal[p]; f != partition.Unassigned {
+				final[v] = f
+			} else {
+				nextRemaining = append(nextRemaining, v)
+			}
+		}
+		nr -= lt.Finalized
+		lt.RemainingNr = nr
+		trace.Layers = append(trace.Layers, lt)
+		remaining = nextRemaining
+	}
+	if nextFinal != k {
+		return nil, nil, fmt.Errorf("core: produced %d parts, want %d", nextFinal, k)
+	}
+	if !b.cfg.DisableRefine {
+		rebalance(g, final, k, b.cfg.Epsilon)
+	}
+	a := &partition.Assignment{Parts: final, K: k}
+	if err := a.Validate(g); err != nil {
+		return nil, nil, fmt.Errorf("core: internal error: %w", err)
+	}
+	return a, trace, nil
+}
+
+// group is a set of pieces destined for one final subgraph.
+type group struct {
+	v, e   int
+	pieces []int
+}
+
+// combineRound sorts groups by vertex count and merges the lightest with
+// the heaviest (the paper's pairing rule exploiting the inverse
+// proportionality of |V_i| and |E_i|), merging just enough pairs to reach
+// target groups. Unpaired middle groups pass through unchanged.
+func combineRound(groups []group, target int) []group {
+	if target >= len(groups) {
+		return groups
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].v != groups[j].v {
+			return groups[i].v < groups[j].v
+		}
+		return groups[i].e > groups[j].e
+	})
+	merges := len(groups) - target
+	out := make([]group, 0, target)
+	for i := 0; i < merges; i++ {
+		a, b := groups[i], groups[len(groups)-1-i]
+		out = append(out, group{
+			v:      a.v + b.v,
+			e:      a.e + b.e,
+			pieces: append(append([]int(nil), a.pieces...), b.pieces...),
+		})
+	}
+	out = append(out, groups[merges:len(groups)-merges]...)
+	return out
+}
+
+// balanced reports whether a group is within (1±ε) of both per-part means.
+func (b *BPart) balanced(grp group, targetV, targetE float64) bool {
+	eps := b.cfg.Epsilon
+	if math.Abs(float64(grp.v)-targetV) > eps*targetV {
+		return false
+	}
+	if targetE == 0 {
+		return true
+	}
+	return math.Abs(float64(grp.e)-targetE) <= eps*targetE
+}
+
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+		if out > 1<<30 {
+			return 1 << 30
+		}
+	}
+	return out
+}
+
+func init() {
+	partition.Register("BPart", func() partition.Partitioner {
+		b, err := New(Default())
+		if err != nil {
+			panic(err) // Default() always normalizes
+		}
+		return b
+	})
+}

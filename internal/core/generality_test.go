@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"bpart/internal/gen"
+	"bpart/internal/graph"
+	"bpart/internal/metrics"
+)
+
+// BPart's guarantees must not depend on the Chung–Lu generator: verify 2D
+// balance on the other graph families in internal/gen.
+
+func checkBalanced(t *testing.T, name string, g *graph.Graph, k int) {
+	t.Helper()
+	b, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := b.Partition(g, k)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	r := metrics.NewReport(g, a.Parts, k, false)
+	if r.VertexBias > 0.15 {
+		t.Errorf("%s: vertex bias %v", name, r.VertexBias)
+	}
+	if r.EdgeBias > 0.15 {
+		t.Errorf("%s: edge bias %v", name, r.EdgeBias)
+	}
+}
+
+func TestBPartOnRMAT(t *testing.T) {
+	g, err := gen.RMAT(gen.RMATConfig{Scale: 13, EdgeFactor: 12, A: 0.57, B: 0.19, C: 0.19, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBalanced(t, "rmat", g, 8)
+}
+
+func TestBPartOnBarabasiAlbert(t *testing.T) {
+	g, err := gen.BarabasiAlbert(8000, 6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBalanced(t, "ba", g, 8)
+}
+
+func TestBPartOnErdosRenyi(t *testing.T) {
+	g, err := gen.ErdosRenyi(8000, 10, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBalanced(t, "er", g, 8)
+}
+
+func TestBPartOnShuffledGraph(t *testing.T) {
+	// No ID/degree correlation at all: BPart must still balance.
+	g, err := gen.ChungLu(gen.Config{
+		NumVertices: 8000, AvgDegree: 12, Skew: 0.8, Seed: 17, Shuffle: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBalanced(t, "shuffled", g, 8)
+}
+
+func TestBPartManyParts(t *testing.T) {
+	// Fig 11 regime: large k relative to graph size.
+	g, err := gen.ChungLu(gen.Config{NumVertices: 20000, AvgDegree: 12, Skew: 0.75, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{32, 64, 128} {
+		a, err := b.Partition(g, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		vs, es := graph.PartSizes(g, a.Parts, k)
+		if j := metrics.Jain(vs); j < 0.97 {
+			t.Errorf("k=%d: vertex Jain %v", k, j)
+		}
+		if j := metrics.Jain(es); j < 0.97 {
+			t.Errorf("k=%d: edge Jain %v", k, j)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"sort"
+
+	"bpart/internal/graph"
+)
+
+// rebalance is the final repair pass of BPart (an addition over the paper,
+// see Config.DisableRefine). It greedily moves vertices out of parts whose
+// |V_i| or |E_i| exceeds (1+ε) of the per-part mean into parts with
+// headroom, until no part is over the threshold or no further move is
+// possible.
+//
+// Move selection: to shed edge mass, move the highest-degree vertex that
+// fits the receiver's edge headroom; to shed vertex count, move the
+// lowest-degree vertex (cheapest in edge mass). The receiver is the part
+// lightest in the violated dimension that stays within (1+ε) in both
+// dimensions after the move, so a move never creates a new violation and
+// the total overage strictly decreases — the loop terminates.
+func rebalance(g *graph.Graph, parts []int, k int, eps float64) {
+	n := g.NumVertices()
+	if n == 0 || k <= 1 {
+		return
+	}
+	targetV := float64(n) / float64(k)
+	targetE := float64(g.NumEdges()) / float64(k)
+
+	vCount := make([]int, k)
+	eCount := make([]int, k)
+	members := make([][]graph.VertexID, k) // sorted by out-degree ascending
+	for v := 0; v < n; v++ {
+		p := parts[v]
+		vCount[p]++
+		eCount[p] += g.OutDegree(graph.VertexID(v))
+		members[p] = append(members[p], graph.VertexID(v))
+	}
+	for p := range members {
+		ms := members[p]
+		sort.Slice(ms, func(i, j int) bool {
+			di, dj := g.OutDegree(ms[i]), g.OutDegree(ms[j])
+			if di != dj {
+				return di < dj
+			}
+			return ms[i] < ms[j]
+		})
+	}
+
+	overV := func(p int) float64 { return float64(vCount[p]) - targetV }
+	overE := func(p int) float64 {
+		if targetE == 0 {
+			return 0
+		}
+		return float64(eCount[p]) - targetE
+	}
+	capV := (1 + eps) * targetV
+	capE := (1 + eps) * targetE
+
+	// Phase 1: shed overages.
+	stuck := make([]bool, k)
+	for moves := 0; moves < n; moves++ {
+		// Worst violator by normalized overage.
+		worst, worstScore, worstDim := -1, eps, 'V'
+		for p := 0; p < k; p++ {
+			if stuck[p] {
+				continue
+			}
+			nv := overV(p) / targetV
+			var ne float64
+			if targetE > 0 {
+				ne = overE(p) / targetE
+			}
+			if nv > worstScore {
+				worst, worstScore, worstDim = p, nv, 'V'
+			}
+			if ne > worstScore {
+				worst, worstScore, worstDim = p, ne, 'E'
+			}
+		}
+		if worst == -1 {
+			break
+		}
+		if !moveOne(g, parts, worst, worstDim, vCount, eCount, members, capV, capE) {
+			stuck[worst] = true
+			continue
+		}
+		// A successful move may unstick other parts (their receivers
+		// gained headroom indirectly); re-examine everything.
+		for p := range stuck {
+			stuck[p] = false
+		}
+	}
+
+	// Phase 2: fill deficits. Bias only punishes maxima, but Jain's
+	// fairness (Fig 11) and the per-machine load plots (Fig 12) expect
+	// every part near the mean, so pull mass into parts below (1−ε).
+	floorV := (1 - eps) * targetV
+	floorE := (1 - eps) * targetE
+	for p := range stuck {
+		stuck[p] = false
+	}
+	for moves := 0; moves < n; moves++ {
+		worst, worstScore, worstDim := -1, eps, 'V'
+		for p := 0; p < k; p++ {
+			if stuck[p] {
+				continue
+			}
+			nv := -overV(p) / targetV
+			var ne float64
+			if targetE > 0 {
+				ne = -overE(p) / targetE
+			}
+			if nv > worstScore {
+				worst, worstScore, worstDim = p, nv, 'V'
+			}
+			if ne > worstScore {
+				worst, worstScore, worstDim = p, ne, 'E'
+			}
+		}
+		if worst == -1 {
+			return
+		}
+		if !pullOne(g, parts, worst, worstDim, vCount, eCount, members, capV, capE, floorV, floorE) {
+			stuck[worst] = true
+			continue
+		}
+		for p := range stuck {
+			stuck[p] = false
+		}
+	}
+}
+
+// pullOne moves a single vertex from the heaviest suitable donor into the
+// deficient part p. A donor is suitable when it stays at or above the
+// (1−ε) floors after the move, so pulling never creates a new deficit; the
+// receiver is capped at (1+ε) so it cannot become a violator either.
+func pullOne(g *graph.Graph, parts []int, p int, dim rune,
+	vCount, eCount []int, members [][]graph.VertexID, capV, capE, floorV, floorE float64) bool {
+	k := len(vCount)
+	if float64(vCount[p]+1) > capV {
+		return false
+	}
+	order := make([]int, 0, k-1)
+	for q := 0; q < k; q++ {
+		if q != p {
+			order = append(order, q)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if dim == 'E' {
+			if eCount[a] != eCount[b] {
+				return eCount[a] > eCount[b]
+			}
+			return vCount[a] > vCount[b]
+		}
+		if vCount[a] != vCount[b] {
+			return vCount[a] > vCount[b]
+		}
+		return eCount[a] > eCount[b]
+	})
+	headroomE := int(capE) - eCount[p]
+	for _, q := range order {
+		if len(members[q]) <= 1 || float64(vCount[q]-1) < floorV {
+			continue
+		}
+		ms := members[q]
+		var idx int
+		if dim == 'E' {
+			// Largest donor vertex that fits p and keeps q above its
+			// edge floor.
+			budget := headroomE
+			if keep := eCount[q] - int(floorE); keep < budget {
+				budget = keep
+			}
+			idx = sort.Search(len(ms), func(i int) bool {
+				return g.OutDegree(ms[i]) > budget
+			}) - 1
+		} else {
+			idx = 0
+			d := g.OutDegree(ms[0])
+			if d > headroomE || float64(eCount[q]-d) < floorE {
+				idx = -1
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		v := ms[idx]
+		d := g.OutDegree(v)
+		members[q] = append(ms[:idx], ms[idx+1:]...)
+		ins := sort.Search(len(members[p]), func(i int) bool {
+			di := g.OutDegree(members[p][i])
+			if di != d {
+				return di > d
+			}
+			return members[p][i] >= v
+		})
+		members[p] = append(members[p], 0)
+		copy(members[p][ins+1:], members[p][ins:])
+		members[p][ins] = v
+		parts[v] = p
+		vCount[q]--
+		vCount[p]++
+		eCount[q] -= d
+		eCount[p] += d
+		return true
+	}
+	return false
+}
+
+// moveOne moves a single vertex out of part p to relieve dimension dim.
+// It reports whether a move happened.
+func moveOne(g *graph.Graph, parts []int, p int, dim rune,
+	vCount, eCount []int, members [][]graph.VertexID, capV, capE float64) bool {
+	if len(members[p]) <= 1 {
+		return false // never empty a part
+	}
+	k := len(vCount)
+	// Candidate receivers ordered by load in the violated dimension.
+	order := make([]int, 0, k-1)
+	for q := 0; q < k; q++ {
+		if q != p {
+			order = append(order, q)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if dim == 'E' {
+			if eCount[a] != eCount[b] {
+				return eCount[a] < eCount[b]
+			}
+			return vCount[a] < vCount[b]
+		}
+		if vCount[a] != vCount[b] {
+			return vCount[a] < vCount[b]
+		}
+		return eCount[a] < eCount[b]
+	})
+	for _, q := range order {
+		if float64(vCount[q]+1) > capV {
+			continue
+		}
+		headroomE := int(capE) - eCount[q]
+		ms := members[p]
+		var idx int
+		if dim == 'E' {
+			// Largest-degree vertex whose degree fits the receiver.
+			idx = sort.Search(len(ms), func(i int) bool {
+				return g.OutDegree(ms[i]) > headroomE
+			}) - 1
+		} else {
+			// Smallest-degree vertex; it must still fit the receiver.
+			idx = 0
+			if g.OutDegree(ms[0]) > headroomE {
+				idx = -1
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		v := ms[idx]
+		d := g.OutDegree(v)
+		// Execute the move.
+		members[p] = append(ms[:idx], ms[idx+1:]...)
+		ins := sort.Search(len(members[q]), func(i int) bool {
+			di := g.OutDegree(members[q][i])
+			if di != d {
+				return di > d
+			}
+			return members[q][i] >= v
+		})
+		members[q] = append(members[q], 0)
+		copy(members[q][ins+1:], members[q][ins:])
+		members[q][ins] = v
+		parts[v] = q
+		vCount[p]--
+		vCount[q]++
+		eCount[p] -= d
+		eCount[q] += d
+		return true
+	}
+	return false
+}

@@ -1,0 +1,265 @@
+// Package embed trains vertex embeddings from random-walk corpora with
+// skip-gram and negative sampling (SGNS) — the downstream consumer that
+// motivates the paper's DeepWalk and node2vec workloads (§1). The walk
+// engine's Config.CollectPaths produces the corpus; Train turns it into
+// dense vectors whose cosine similarity reflects graph proximity.
+//
+// The implementation is the standard word2vec recipe adapted to vertex
+// IDs: two parameter matrices (center and context), a unigram^(3/4)
+// negative-sampling distribution over corpus frequencies served by an
+// alias table, sigmoid via a lookup table, and linearly decaying learning
+// rate. Training is sequential and seeded, so results are exactly
+// reproducible.
+package embed
+
+import (
+	"fmt"
+	"math"
+
+	"bpart/internal/graph"
+	"bpart/internal/xrand"
+)
+
+// Config holds SGNS hyperparameters. Zero fields select defaults.
+type Config struct {
+	// Dim is the embedding dimension. Default 32.
+	Dim int
+	// Window is the skip-gram context half-window. Default 4.
+	Window int
+	// Negatives is the number of negative samples per positive pair.
+	// Default 5.
+	Negatives int
+	// LearningRate is the initial SGD step, decaying linearly to 1% over
+	// training. Default 0.025.
+	LearningRate float64
+	// Epochs is the number of passes over the corpus. Default 2.
+	Epochs int
+	// Seed drives initialization and sampling.
+	Seed uint64
+}
+
+// Normalize fills defaults and validates.
+func (c *Config) Normalize() error {
+	if c.Dim == 0 {
+		c.Dim = 32
+	}
+	if c.Dim < 1 {
+		return fmt.Errorf("embed: Dim = %d", c.Dim)
+	}
+	if c.Window == 0 {
+		c.Window = 4
+	}
+	if c.Window < 1 {
+		return fmt.Errorf("embed: Window = %d", c.Window)
+	}
+	if c.Negatives == 0 {
+		c.Negatives = 5
+	}
+	if c.Negatives < 1 {
+		return fmt.Errorf("embed: Negatives = %d", c.Negatives)
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.025
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("embed: LearningRate = %v", c.LearningRate)
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 2
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("embed: Epochs = %d", c.Epochs)
+	}
+	return nil
+}
+
+// Embeddings holds one vector per vertex.
+type Embeddings struct {
+	Dim  int
+	vecs []float32 // n × Dim, row-major
+}
+
+// NumVertices returns the vocabulary size.
+func (e *Embeddings) NumVertices() int { return len(e.vecs) / e.Dim }
+
+// Vector returns v's embedding as a shared slice (do not modify).
+func (e *Embeddings) Vector(v graph.VertexID) []float32 {
+	return e.vecs[int(v)*e.Dim : (int(v)+1)*e.Dim]
+}
+
+// Cosine returns the cosine similarity of two vertices' embeddings
+// (0 when either vector is zero).
+func (e *Embeddings) Cosine(a, b graph.VertexID) float64 {
+	va, vb := e.Vector(a), e.Vector(b)
+	var dot, na, nb float64
+	for i := range va {
+		dot += float64(va[i]) * float64(vb[i])
+		na += float64(va[i]) * float64(va[i])
+		nb += float64(vb[i]) * float64(vb[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// MostSimilar returns the k vertices most cosine-similar to v (excluding
+// v itself), in descending similarity order.
+func (e *Embeddings) MostSimilar(v graph.VertexID, k int) []graph.VertexID {
+	n := e.NumVertices()
+	type cand struct {
+		v   graph.VertexID
+		sim float64
+	}
+	// Simple selection: keep the top-k in a small slice (k ≪ n).
+	top := make([]cand, 0, k+1)
+	for u := 0; u < n; u++ {
+		if graph.VertexID(u) == v {
+			continue
+		}
+		sim := e.Cosine(v, graph.VertexID(u))
+		pos := len(top)
+		for pos > 0 && top[pos-1].sim < sim {
+			pos--
+		}
+		if pos < k {
+			top = append(top, cand{})
+			copy(top[pos+1:], top[pos:])
+			top[pos] = cand{graph.VertexID(u), sim}
+			if len(top) > k {
+				top = top[:k]
+			}
+		}
+	}
+	out := make([]graph.VertexID, len(top))
+	for i, c := range top {
+		out[i] = c.v
+	}
+	return out
+}
+
+// sigmoidTable precomputes σ(x) over [-6, 6].
+const (
+	sigTableSize = 512
+	sigMax       = 6.0
+)
+
+var sigTable = func() [sigTableSize]float32 {
+	var t [sigTableSize]float32
+	for i := range t {
+		x := (float64(i)/sigTableSize*2 - 1) * sigMax
+		t[i] = float32(1 / (1 + math.Exp(-x)))
+	}
+	return t
+}()
+
+func sigmoid(x float32) float32 {
+	if x >= sigMax {
+		return 1
+	}
+	if x <= -sigMax {
+		return 0
+	}
+	i := int((float64(x)/sigMax + 1) / 2 * sigTableSize)
+	if i >= sigTableSize {
+		i = sigTableSize - 1
+	}
+	return sigTable[i]
+}
+
+// Train learns embeddings for a graph with n vertices from a walk corpus.
+func Train(corpus [][]graph.VertexID, n int, cfg Config) (*Embeddings, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("embed: n = %d", n)
+	}
+	var tokens int
+	freq := make([]float64, n)
+	for _, path := range corpus {
+		for _, v := range path {
+			if int(v) >= n {
+				return nil, fmt.Errorf("embed: corpus vertex %d out of range [0,%d)", v, n)
+			}
+			freq[v]++
+			tokens++
+		}
+	}
+	if tokens == 0 {
+		return nil, fmt.Errorf("embed: empty corpus")
+	}
+	// Negative sampling from unigram^(3/4); vertices absent from the
+	// corpus get a tiny floor weight so the alias table stays valid.
+	for v := range freq {
+		if freq[v] == 0 {
+			freq[v] = 1e-3
+		}
+		freq[v] = math.Pow(freq[v], 0.75)
+	}
+	negDist := xrand.NewAlias(freq)
+
+	rng := xrand.New(cfg.Seed ^ 0xE3BED)
+	dim := cfg.Dim
+	center := make([]float32, n*dim)
+	context := make([]float32, n*dim)
+	for i := range center {
+		center[i] = float32(rng.Float64()-0.5) / float32(dim)
+	}
+
+	totalPairs := cfg.Epochs * tokens
+	seen := 0
+	grad := make([]float32, dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, path := range corpus {
+			for i, c := range path {
+				seen++
+				lr := float32(cfg.LearningRate * math.Max(0.01, 1-float64(seen)/float64(totalPairs+1)))
+				lo := i - cfg.Window
+				if lo < 0 {
+					lo = 0
+				}
+				hi := i + cfg.Window
+				if hi >= len(path) {
+					hi = len(path) - 1
+				}
+				cv := center[int(c)*dim : (int(c)+1)*dim]
+				for j := lo; j <= hi; j++ {
+					if j == i {
+						continue
+					}
+					for i2 := range grad {
+						grad[i2] = 0
+					}
+					// Positive pair (c, path[j]) + negatives.
+					for s := 0; s <= cfg.Negatives; s++ {
+						var target int
+						var label float32
+						if s == 0 {
+							target, label = int(path[j]), 1
+						} else {
+							target, label = negDist.Sample(rng), 0
+							if target == int(c) {
+								continue
+							}
+						}
+						tv := context[target*dim : (target+1)*dim]
+						var dot float32
+						for d := 0; d < dim; d++ {
+							dot += cv[d] * tv[d]
+						}
+						g := (label - sigmoid(dot)) * lr
+						for d := 0; d < dim; d++ {
+							grad[d] += g * tv[d]
+							tv[d] += g * cv[d]
+						}
+					}
+					for d := 0; d < dim; d++ {
+						cv[d] += grad[d]
+					}
+				}
+			}
+		}
+	}
+	return &Embeddings{Dim: dim, vecs: center}, nil
+}

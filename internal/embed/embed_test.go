@@ -1,0 +1,171 @@
+package embed
+
+import (
+	"math"
+	"testing"
+
+	"bpart/internal/cluster"
+	"bpart/internal/graph"
+	"bpart/internal/partition"
+	"bpart/internal/walk"
+)
+
+func TestConfigNormalize(t *testing.T) {
+	var c Config
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Dim != 32 || c.Window != 4 || c.Negatives != 5 || c.Epochs != 2 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	for _, bad := range []Config{
+		{Dim: -1}, {Window: -1}, {Negatives: -2}, {LearningRate: -1}, {Epochs: -3},
+	} {
+		cfg := bad
+		if err := cfg.Normalize(); err == nil {
+			t.Errorf("invalid config %+v accepted", bad)
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, 10, Config{}); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+	if _, err := Train([][]graph.VertexID{{0, 1}}, 0, Config{}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := Train([][]graph.VertexID{{0, 99}}, 10, Config{}); err == nil {
+		t.Fatal("out-of-range corpus vertex accepted")
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if s := sigmoid(0); math.Abs(float64(s)-0.5) > 0.02 {
+		t.Fatalf("sigmoid(0) = %v", s)
+	}
+	if sigmoid(10) != 1 || sigmoid(-10) != 0 {
+		t.Fatal("sigmoid saturation wrong")
+	}
+	for _, x := range []float32{-5, -1, 0.5, 3} {
+		want := 1 / (1 + math.Exp(-float64(x)))
+		if got := float64(sigmoid(x)); math.Abs(got-want) > 0.03 {
+			t.Fatalf("sigmoid(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+// twoCommunityCorpus builds a graph of two dense communities joined by a
+// single bridge and returns a DeepWalk corpus over it.
+func twoCommunityCorpus(t *testing.T) ([][]graph.VertexID, int) {
+	t.Helper()
+	const half = 60
+	b := graph.NewBuilder(2 * half)
+	// Dense intra-community rings + chords.
+	for c := 0; c < 2; c++ {
+		base := graph.VertexID(c * half)
+		for i := 0; i < half; i++ {
+			v := base + graph.VertexID(i)
+			b.AddUndirected(v, base+graph.VertexID((i+1)%half))
+			b.AddUndirected(v, base+graph.VertexID((i+7)%half))
+			b.AddUndirected(v, base+graph.VertexID((i+19)%half))
+		}
+	}
+	b.AddUndirected(0, half) // bridge
+	g := b.Build()
+	a, err := (partition.ChunkV{}).Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := walk.New(g, a.Parts, 2, cluster.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(walk.Config{
+		Kind: walk.DeepWalk, WalkersPerVertex: 8, Steps: 12, Seed: 5, CollectPaths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Paths, g.NumVertices()
+}
+
+func TestEmbeddingsSeparateCommunities(t *testing.T) {
+	corpus, n := twoCommunityCorpus(t)
+	emb, err := Train(corpus, n, Config{Dim: 16, Epochs: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.NumVertices() != n {
+		t.Fatalf("NumVertices = %d, want %d", emb.NumVertices(), n)
+	}
+	// Average intra-community similarity must clearly exceed
+	// inter-community similarity.
+	const half = 60
+	var intra, inter float64
+	var ni, nx int
+	for i := 0; i < 30; i++ {
+		a := graph.VertexID(i * 2)
+		intra += emb.Cosine(a, graph.VertexID((i*2+11)%half))
+		ni++
+		inter += emb.Cosine(a, graph.VertexID(half+(i*2+11)%half))
+		nx++
+	}
+	intra /= float64(ni)
+	inter /= float64(nx)
+	if intra <= inter+0.2 {
+		t.Fatalf("communities not separated: intra %v vs inter %v", intra, inter)
+	}
+}
+
+func TestMostSimilarPrefersOwnCommunity(t *testing.T) {
+	corpus, n := twoCommunityCorpus(t)
+	emb, err := Train(corpus, n, Config{Dim: 16, Epochs: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const half = 60
+	top := emb.MostSimilar(10, 10)
+	if len(top) != 10 {
+		t.Fatalf("MostSimilar returned %d", len(top))
+	}
+	own := 0
+	for _, v := range top {
+		if v == 10 {
+			t.Fatal("MostSimilar returned the query vertex")
+		}
+		if int(v) < half {
+			own++
+		}
+	}
+	if own < 8 {
+		t.Fatalf("only %d of top-10 neighbors in own community", own)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	corpus, n := twoCommunityCorpus(t)
+	e1, err := Train(corpus, n, Config{Dim: 8, Epochs: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Train(corpus, n, Config{Dim: 8, Epochs: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		a, b := e1.Vector(graph.VertexID(v)), e2.Vector(graph.VertexID(v))
+		for d := range a {
+			if a[d] != b[d] {
+				t.Fatalf("training not deterministic at vertex %d dim %d", v, d)
+			}
+		}
+	}
+}
+
+func TestCosineZeroVector(t *testing.T) {
+	e := &Embeddings{Dim: 4, vecs: make([]float32, 8)}
+	if c := e.Cosine(0, 1); c != 0 {
+		t.Fatalf("zero-vector cosine = %v", c)
+	}
+}

@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"fmt"
+
+	"bpart/internal/cluster"
+	"bpart/internal/graph"
+)
+
+// EdgeWeight returns the deterministic synthetic weight of arc (u,v) used
+// by SSSP: an integer in [1, 8] derived by hashing the endpoints. Gemini
+// and its successors evaluate SSSP on weighted variants of the same social
+// graphs; deriving weights on the fly keeps the CSR compact and every run
+// reproducible.
+func EdgeWeight(u, v graph.VertexID) int64 {
+	z := (uint64(u) << 32) | uint64(v)
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64((z^(z>>31))%8) + 1
+}
+
+// SSSPResult is the outcome of a single-source shortest paths run.
+type SSSPResult struct {
+	Dist    []int64 // -1 = unreachable
+	Reached int
+	Stats   cluster.RunStats
+}
+
+// SSSP runs frontier-based Bellman–Ford over out-edges from source with
+// the synthetic EdgeWeight weights. Each BSP iteration relaxes the
+// out-edges of the vertices whose distance improved in the previous one.
+func (e *Engine) SSSP(source graph.VertexID) (*SSSPResult, error) {
+	n := e.g.NumVertices()
+	if int(source) >= n {
+		return nil, fmt.Errorf("engine: SSSP source %d out of range", source)
+	}
+	k := e.cl.NumMachines()
+	const unreached = int64(-1)
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = unreached
+	}
+	dist[source] = 0
+	active := make([]bool, n)
+	active[source] = true
+	// Machine-private proposal buffers.
+	bufs := make([][]int64, k)
+	for m := range bufs {
+		bufs[m] = make([]int64, n)
+	}
+	res := &SSSPResult{}
+	for anyActive := true; anyActive; {
+		w := e.cl.NewCounters()
+		e.cl.Parallel(func(m int) {
+			buf := bufs[m]
+			for i := range buf {
+				buf[i] = unreached
+			}
+			var edges, msgs, verts int64
+			for _, v := range e.owned[m] {
+				if !active[v] {
+					continue
+				}
+				verts++
+				base := dist[v]
+				for _, u := range e.g.Neighbors(v) {
+					edges++
+					if e.cl.Owner(u) != m {
+						msgs++
+					}
+					cand := base + EdgeWeight(v, u)
+					if buf[u] == unreached || cand < buf[u] {
+						buf[u] = cand
+					}
+				}
+			}
+			w.Edges[m] = edges
+			w.Messages[m] = msgs
+			w.Vertices[m] = verts
+		})
+		nextActive := make([]bool, n)
+		changed := make([]bool, k)
+		mergeParallel(n, k, func(chunk, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				best := dist[v]
+				for m := 0; m < k; m++ {
+					if c := bufs[m][v]; c != unreached && (best == unreached || c < best) {
+						best = c
+					}
+				}
+				if best != dist[v] {
+					dist[v] = best
+					nextActive[v] = true
+					changed[chunk] = true
+				}
+			}
+		})
+		active = nextActive
+		res.Stats.Add(e.cl.FinishIteration(w))
+		anyActive = false
+		for _, c := range changed {
+			anyActive = anyActive || c
+		}
+	}
+	res.Dist = dist
+	for _, d := range dist {
+		if d >= 0 {
+			res.Reached++
+		}
+	}
+	return res, nil
+}
+
+// KCoreResult is the outcome of a k-core decomposition run.
+type KCoreResult struct {
+	// InCore[v] reports whether v survives in the k-core.
+	InCore []bool
+	// CoreSize is the number of surviving vertices.
+	CoreSize int
+	Stats    cluster.RunStats
+}
+
+// KCore computes the k-core of the undirected closure by iterative
+// peeling: each BSP round removes every remaining vertex with fewer than
+// kCore remaining (out+in) neighbors, until a fixed point.
+func (e *Engine) KCore(kCore int) (*KCoreResult, error) {
+	if kCore < 1 {
+		return nil, fmt.Errorf("engine: k-core with k = %d", kCore)
+	}
+	n := e.g.NumVertices()
+	k := e.cl.NumMachines()
+	tr := e.transpose()
+	alive := make([]bool, n)
+	degree := make([]int, n)
+	for v := 0; v < n; v++ {
+		alive[v] = true
+		degree[v] = e.g.OutDegree(graph.VertexID(v)) + tr.OutDegree(graph.VertexID(v))
+	}
+	res := &KCoreResult{}
+	for {
+		w := e.cl.NewCounters()
+		removed := make([][]graph.VertexID, k)
+		e.cl.Parallel(func(m int) {
+			var verts int64
+			for _, v := range e.owned[m] {
+				if alive[v] && degree[v] < kCore {
+					removed[m] = append(removed[m], v)
+				}
+				if alive[v] {
+					verts++
+				}
+			}
+			w.Vertices[m] = verts
+		})
+		total := 0
+		for m := 0; m < k; m++ {
+			total += len(removed[m])
+		}
+		if total == 0 {
+			res.Stats.Add(e.cl.FinishIteration(w))
+			break
+		}
+		// Peel: mark dead, decrement neighbor degrees, count the edge
+		// scans and the cross-machine notifications.
+		for m := 0; m < k; m++ {
+			for _, v := range removed[m] {
+				alive[v] = false
+			}
+		}
+		for m := 0; m < k; m++ {
+			var edges, msgs int64
+			for _, v := range removed[m] {
+				for _, u := range e.g.Neighbors(v) {
+					edges++
+					degree[u]--
+					if e.cl.Owner(u) != m {
+						msgs++
+					}
+				}
+				for _, u := range tr.Neighbors(v) {
+					edges++
+					degree[u]--
+					if e.cl.Owner(u) != m {
+						msgs++
+					}
+				}
+			}
+			w.Edges[m] += edges
+			w.Messages[m] += msgs
+		}
+		res.Stats.Add(e.cl.FinishIteration(w))
+	}
+	res.InCore = alive
+	for _, a := range alive {
+		if a {
+			res.CoreSize++
+		}
+	}
+	return res, nil
+}

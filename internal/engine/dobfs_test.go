@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"testing"
+
+	"bpart/internal/gen"
+)
+
+func TestDirectionOptimizingMatchesPlainBFS(t *testing.T) {
+	g, err := gen.ChungLu(gen.Config{
+		NumVertices: 5000, AvgDegree: 12, Skew: 0.75, Locality: 0.4, Window: 128, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 4)
+	plain, err := e.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := e.BFSDirectionOptimizing(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Reached != opt.Reached {
+		t.Fatalf("reached %d vs %d", plain.Reached, opt.Reached)
+	}
+	for v := range plain.Dist {
+		if plain.Dist[v] != opt.Dist[v] {
+			t.Fatalf("dist[%d]: plain %d vs optimized %d", v, plain.Dist[v], opt.Dist[v])
+		}
+	}
+}
+
+func TestDirectionOptimizingScansFewerEdges(t *testing.T) {
+	// Small-world graph: the middle BFS levels touch nearly every edge
+	// top-down; bottom-up early exit must cut the total edge work.
+	g, err := gen.ChungLu(gen.Config{
+		NumVertices: 20000, AvgDegree: 16, Skew: 0.75, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 4)
+	plain, err := e.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := e.BFSDirectionOptimizing(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgesOf := func(r *BFSResult) int64 {
+		var total int64
+		for _, it := range r.Stats.Iterations {
+			for _, x := range it.Work.Edges {
+				total += x
+			}
+		}
+		return total
+	}
+	pe, oe := edgesOf(plain), edgesOf(opt)
+	if oe >= pe {
+		t.Fatalf("direction-optimizing scanned %d edges, plain %d — no savings", oe, pe)
+	}
+}
+
+func TestDirectionOptimizingBadSource(t *testing.T) {
+	e := newEngine(t, gen.Ring(4), 2)
+	if _, err := e.BFSDirectionOptimizing(99); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestDirectionOptimizingLineGraphStaysTopDown(t *testing.T) {
+	// A ring frontier is always tiny: the heuristic must never switch,
+	// and results must still be exact.
+	g := gen.Ring(200)
+	e := newEngine(t, g, 2)
+	res, err := e.BFSDirectionOptimizing(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range res.Dist {
+		if int(d) != v {
+			t.Fatalf("ring dist[%d] = %d", v, d)
+		}
+	}
+}

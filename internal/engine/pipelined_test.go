@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"bpart/internal/cluster"
+	"bpart/internal/gen"
+	"bpart/internal/partition"
+)
+
+// TestPipelinedEndToEnd runs the same PageRank computation under the
+// sequential and pipelined cost models: identical ranks and work counters,
+// pipelined simulated time never longer (§2.1: pipelining amortizes part
+// of the communication cost).
+func TestPipelinedEndToEnd(t *testing.T) {
+	g, err := gen.ChungLu(gen.Config{NumVertices: 4000, AvgDegree: 10, Skew: 0.75, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := (partition.Hash{}).Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := cluster.DefaultCostModel()
+	pipe := seq
+	pipe.Pipelined = true
+
+	eSeq, err := New(g, a.Parts, 8, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ePipe, err := New(g, a.Parts, 8, pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSeq, err := eSeq.PageRank(5, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPipe, err := ePipe.PageRank(5, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range rSeq.Ranks {
+		if math.Abs(rSeq.Ranks[v]-rPipe.Ranks[v]) > 1e-12 {
+			t.Fatalf("pipelining changed ranks at %d", v)
+		}
+	}
+	if rPipe.Stats.TotalTime() > rSeq.Stats.TotalTime() {
+		t.Fatalf("pipelined time %v exceeds sequential %v",
+			rPipe.Stats.TotalTime(), rSeq.Stats.TotalTime())
+	}
+	if rPipe.Stats.TotalMessages() != rSeq.Stats.TotalMessages() {
+		t.Fatal("pipelining changed message counts")
+	}
+}

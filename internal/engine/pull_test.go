@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"bpart/internal/cluster"
+	"bpart/internal/gen"
+	"bpart/internal/graph"
+	"bpart/internal/partition"
+)
+
+func TestPullArgs(t *testing.T) {
+	e := newEngine(t, gen.Ring(4), 2)
+	if _, err := e.PageRankPull(0, 0.85); err == nil {
+		t.Fatal("iters=0 accepted")
+	}
+	if _, err := e.PageRankPull(3, 1.0); err == nil {
+		t.Fatal("damping=1 accepted")
+	}
+}
+
+func TestPullMatchesPush(t *testing.T) {
+	g, err := gen.ChungLu(gen.Config{NumVertices: 2000, AvgDegree: 10, Skew: 0.75, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 4)
+	push, err := e.PageRank(10, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pull, err := e.PageRankPull(10, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range push.Ranks {
+		if math.Abs(push.Ranks[v]-pull.Ranks[v]) > 1e-9 {
+			t.Fatalf("rank[%d]: push %v vs pull %v", v, push.Ranks[v], pull.Ranks[v])
+		}
+	}
+}
+
+func TestPullSendsFewerMessagesOnHighCut(t *testing.T) {
+	// Under Hash partitioning nearly every edge is cut: push pays one
+	// message per cut edge; pull pays one per mirror. On a hubby graph
+	// mirrors ≪ cut edges, so pull must send far fewer messages.
+	g, err := gen.ChungLu(gen.Config{NumVertices: 3000, AvgDegree: 12, Skew: 0.8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := (partition.Hash{}).Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, a.Parts, 8, cluster.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	push, err := e.PageRank(3, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pull, err := e.PageRankPull(3, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := push.Stats.TotalMessages()
+	qm := pull.Stats.TotalMessages()
+	if qm >= pm {
+		t.Fatalf("pull messages %d not below push %d", qm, pm)
+	}
+	if qm > 8*int64(g.NumVertices())*3 {
+		t.Fatalf("pull messages %d exceed mirror bound", qm)
+	}
+}
+
+func TestPullDangling(t *testing.T) {
+	// Mass conservation with a sink under pull mode: a chain whose last
+	// vertex has no out-edges.
+	g := graph.FromAdjacency([][]graph.VertexID{{1}, {2}, {3}, {}})
+	e, err := New(g, []int{0, 0, 1, 1}, 2, cluster.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.PageRankPull(20, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range res.Ranks {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("total rank %v", sum)
+	}
+}

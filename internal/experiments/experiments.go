@@ -1,0 +1,318 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2.3 motivation plots and §4), plus the ablations called out
+// in DESIGN.md. Each experiment is a function from Options to a *Table —
+// a plain text table whose rows correspond to the series the paper plots —
+// so the same code backs cmd/bench, the testing.B benchmarks in
+// bench_test.go, and EXPERIMENTS.md.
+//
+// Graphs, partitions and transposes are memoized per (dataset, scale) so
+// that a full run does not regenerate the synthetic datasets dozens of
+// times; everything except the wall-clock timings of Table 2 is
+// deterministic.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"bpart/internal/cluster"
+	"bpart/internal/engine"
+	"bpart/internal/gen"
+	"bpart/internal/graph"
+	"bpart/internal/partition"
+	"bpart/internal/walk"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale shrinks (<1) or grows (>1) the preset datasets. The default
+	// 0 means 1.0. Tests use small scales; EXPERIMENTS.md records
+	// scale 1.0.
+	Scale float64
+	// Walkers overrides walkers-per-vertex for the runtime experiments
+	// (default: the paper's 5 for load/waiting figures, 1 for the
+	// application-time figures).
+	Walkers int
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1.0
+	}
+	return o.Scale
+}
+
+// Table is one reproduced table or figure.
+type Table struct {
+	ID     string // e.g. "Fig 10"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV writes the table in RFC-4180 CSV form (header row first), the
+// format plotting scripts consume to regenerate the paper's figures.
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Experiment pairs an ID with its runner.
+type Experiment struct {
+	ID  string
+	Run func(Options) (*Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"Fig 3", Fig3},
+		{"Fig 4", Fig4},
+		{"Fig 5", Fig5},
+		{"Fig 6", Fig6},
+		{"Fig 8", Fig8},
+		{"Fig 10", Fig10},
+		{"Fig 11", Fig11},
+		{"Table 1", Table1},
+		{"Table 2", Table2},
+		{"S4.2 Mt-KaHIP", MtKaHIP},
+		{"S3.3 Connectivity", Connectivity},
+		{"Fig 12", Fig12},
+		{"Fig 13", Fig13},
+		{"Fig 14", Fig14},
+		{"Table 3", Table3},
+		{"Fig 15", Fig15},
+		{"S5 Related", RelatedWork},
+		{"S5 Vertex-cut", VertexCut},
+		{"Ablation C", AblationC},
+		{"Ablation Split", AblationSplit},
+		{"Ablation Refine", AblationRefine},
+		{"Ablation Order", AblationOrder},
+		{"Ablation Hetero", AblationHetero},
+	}
+}
+
+// ---- memoization ----
+
+type graphKey struct {
+	d     gen.Dataset
+	scale float64
+}
+
+type partKey struct {
+	g      graphKey
+	scheme string
+	k      int
+}
+
+var (
+	memoMu     sync.Mutex
+	graphMemo  = map[graphKey]*graph.Graph{}
+	transMemo  = map[graphKey]*graph.Graph{}
+	assignMemo = map[partKey][]int{}
+)
+
+// dataset returns the memoized synthetic graph for d at the option scale.
+func dataset(d gen.Dataset, opt Options) (*graph.Graph, error) {
+	key := graphKey{d, opt.scale()}
+	memoMu.Lock()
+	g, ok := graphMemo[key]
+	memoMu.Unlock()
+	if ok {
+		return g, nil
+	}
+	g, err := gen.Preset(d, opt.scale())
+	if err != nil {
+		return nil, err
+	}
+	memoMu.Lock()
+	graphMemo[key] = g
+	memoMu.Unlock()
+	return g, nil
+}
+
+func transposeOf(d gen.Dataset, opt Options) (*graph.Graph, error) {
+	key := graphKey{d, opt.scale()}
+	memoMu.Lock()
+	tr, ok := transMemo[key]
+	memoMu.Unlock()
+	if ok {
+		return tr, nil
+	}
+	g, err := dataset(d, opt)
+	if err != nil {
+		return nil, err
+	}
+	tr = g.Transpose()
+	memoMu.Lock()
+	transMemo[key] = tr
+	memoMu.Unlock()
+	return tr, nil
+}
+
+// assignment returns the memoized partition of dataset d by the named
+// scheme into k parts.
+func assignment(d gen.Dataset, opt Options, scheme string, k int) ([]int, error) {
+	key := partKey{graphKey{d, opt.scale()}, scheme, k}
+	memoMu.Lock()
+	parts, ok := assignMemo[key]
+	memoMu.Unlock()
+	if ok {
+		return parts, nil
+	}
+	g, err := dataset(d, opt)
+	if err != nil {
+		return nil, err
+	}
+	p, err := partition.Get(scheme)
+	if err != nil {
+		return nil, err
+	}
+	a, err := p.Partition(g, k)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s (k=%d): %w", scheme, d, k, err)
+	}
+	memoMu.Lock()
+	assignMemo[key] = a.Parts
+	memoMu.Unlock()
+	return a.Parts, nil
+}
+
+// ResetMemo clears the memoization caches (used by benchmarks that want to
+// time cold runs).
+func ResetMemo() {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	graphMemo = map[graphKey]*graph.Graph{}
+	transMemo = map[graphKey]*graph.Graph{}
+	assignMemo = map[partKey][]int{}
+}
+
+// ---- shared runners ----
+
+// oneDimSchemes are the three schemes of the motivation figures.
+var oneDimSchemes = []string{"Chunk-V", "Chunk-E", "Fennel"}
+
+// compareSchemes are the four schemes the running-time figures compare
+// against BPart's baseline Chunk-V.
+var compareSchemes = []string{"Chunk-V", "Chunk-E", "Fennel", "BPart"}
+
+// allSchemes adds Hash (Table 3).
+var allSchemes = []string{"Chunk-V", "Chunk-E", "Fennel", "Hash", "BPart"}
+
+func walkEngine(d gen.Dataset, opt Options, scheme string, k int) (*walk.Engine, error) {
+	g, err := dataset(d, opt)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := assignment(d, opt, scheme, k)
+	if err != nil {
+		return nil, err
+	}
+	return walk.New(g, parts, k, cluster.DefaultCostModel())
+}
+
+func iterEngine(d gen.Dataset, opt Options, scheme string, k int) (*engine.Engine, error) {
+	g, err := dataset(d, opt)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := assignment(d, opt, scheme, k)
+	if err != nil {
+		return nil, err
+	}
+	e, err := engine.New(g, parts, k, cluster.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+	tr, err := transposeOf(d, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.SetTranspose(tr); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ---- formatting helpers ----
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func f4(x float64) string { return fmt.Sprintf("%.4f", x) }
+func d0(x int) string     { return fmt.Sprintf("%d", x) }
+func i64(x int64) string  { return fmt.Sprintf("%d", x) }
+
+// summarizeRatios reports min/median/max of a ratio series.
+func summarizeRatios(xs []int) (minR, medR, maxR float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	t := float64(total)
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return float64(s[0]) / t, float64(s[len(s)/2]) / t, float64(s[len(s)-1]) / t
+}

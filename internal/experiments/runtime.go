@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bpart/internal/gen"
+	"bpart/internal/metrics"
+	"bpart/internal/walk"
+)
+
+// loadWalkers returns the walkers-per-vertex for the load/waiting figures
+// (the paper starts 5|V| walks there).
+func (o Options) loadWalkers() int {
+	if o.Walkers > 0 {
+		return o.Walkers
+	}
+	return 5
+}
+
+// appWalkers returns the walkers-per-vertex for the application running
+// time figures (the paper starts |V| walks per application).
+func (o Options) appWalkers() int {
+	if o.Walkers > 0 {
+		return o.Walkers
+	}
+	return 1
+}
+
+// Fig4 reproduces Figure 4: per-machine computing load (walk steps) in each
+// of the four iterations of a 5|V|-walker, 4-step random walk on
+// twitter-sim with four machines. Chunk-V/Fennel start balanced in
+// iteration 0 (balanced walker counts) but drift apart as walkers pile onto
+// the hub machine; Chunk-E is imbalanced from the start.
+func Fig4(opt Options) (*Table, error) {
+	const k = 4
+	t := &Table{
+		ID:     "Fig 4",
+		Title:  "Computing load (walk steps) per machine per iteration (twitter-sim, k=4)",
+		Header: []string{"scheme", "iter", "M0", "M1", "M2", "M3", "max/mean"},
+	}
+	for _, scheme := range oneDimSchemes {
+		e, err := walkEngine(gen.TwitterSim, opt, scheme, k)
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.Run(walk.Config{Kind: walk.Simple, WalkersPerVertex: opt.loadWalkers(), Steps: 4, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		for it, st := range res.Stats.Iterations {
+			var total int64
+			for _, s := range st.Work.Steps {
+				total += s
+			}
+			mean := float64(total) / k
+			maxS := int64(0)
+			row := []string{scheme, d0(it)}
+			for _, s := range st.Work.Steps {
+				row = append(row, i64(s))
+				if s > maxS {
+					maxS = s
+				}
+			}
+			ratio := 0.0
+			if mean > 0 {
+				ratio = float64(maxS) / mean
+			}
+			row = append(row, f2(ratio))
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// Fig5 reproduces Figure 5: (a) the edge-cut ratio and (b) the total
+// message walks of a 5|V|-walker, 4-step walk, for Chunk-V, Chunk-E,
+// Fennel and Hash at k=8. Chunk-E and Hash cut ~90% of edges and transmit
+// over 2× more walks than Fennel.
+func Fig5(opt Options) (*Table, error) {
+	const k = 8
+	t := &Table{
+		ID:     "Fig 5",
+		Title:  "Edge cuts and message walks (twitter-sim, k=8, 5|V| walks × 4 steps)",
+		Header: []string{"scheme", "edge-cut ratio", "message walks", "vs Fennel"},
+	}
+	type rec struct {
+		scheme string
+		cut    float64
+		msgs   int64
+	}
+	var recs []rec
+	for _, scheme := range []string{"Chunk-V", "Chunk-E", "Fennel", "Hash"} {
+		g, err := dataset(gen.TwitterSim, opt)
+		if err != nil {
+			return nil, err
+		}
+		parts, err := assignment(gen.TwitterSim, opt, scheme, k)
+		if err != nil {
+			return nil, err
+		}
+		e, err := walkEngine(gen.TwitterSim, opt, scheme, k)
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.Run(walk.Config{Kind: walk.Simple, WalkersPerVertex: opt.loadWalkers(), Steps: 4, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec{scheme, metrics.EdgeCutRatio(g, parts), res.MessageWalks})
+	}
+	var fennelMsgs int64
+	for _, r := range recs {
+		if r.scheme == "Fennel" {
+			fennelMsgs = r.msgs
+		}
+	}
+	for _, r := range recs {
+		rel := 0.0
+		if fennelMsgs > 0 {
+			rel = float64(r.msgs) / float64(fennelMsgs)
+		}
+		t.AddRow(r.scheme, f4(r.cut), i64(r.msgs), f2(rel))
+	}
+	return t, nil
+}
+
+// Fig12 reproduces Figure 12: the computation time of each of the eight
+// machines in each iteration on friendster-sim. Unbalanced partitions give
+// ragged columns; BPart's are level.
+func Fig12(opt Options) (*Table, error) {
+	const k = 8
+	t := &Table{
+		ID:     "Fig 12",
+		Title:  "Computation time (ms) per machine per iteration (friendster-sim, k=8)",
+		Header: []string{"scheme", "iter", "M0", "M1", "M2", "M3", "M4", "M5", "M6", "M7", "max/mean"},
+	}
+	for _, scheme := range compareSchemes {
+		e, err := walkEngine(gen.FriendsterSim, opt, scheme, k)
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.Run(walk.Config{Kind: walk.Simple, WalkersPerVertex: opt.loadWalkers(), Steps: 4, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		for it, st := range res.Stats.Iterations {
+			row := []string{scheme, d0(it)}
+			var total, maxC float64
+			for _, c := range st.Compute {
+				row = append(row, f2(c/1000))
+				total += c
+				if c > maxC {
+					maxC = c
+				}
+			}
+			ratio := 0.0
+			if total > 0 {
+				ratio = maxC / (total / k)
+			}
+			row = append(row, f2(ratio))
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// Fig13 reproduces Figure 13: the ratio of total machine waiting time to
+// total running time for 4- and 8-machine clusters across all datasets.
+// The paper reports 45–55% average waiting for the one-dimensional schemes
+// and 10–20% for BPart.
+func Fig13(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "Fig 13",
+		Title:  "Waiting-time ratio of random walks (5|V| walks × 4 steps)",
+		Header: []string{"graph", "machines", "Chunk-V", "Chunk-E", "Fennel", "BPart"},
+	}
+	for _, d := range gen.Datasets() {
+		for _, k := range []int{4, 8} {
+			row := []string{string(d), d0(k)}
+			for _, scheme := range compareSchemes {
+				e, err := walkEngine(d, opt, scheme, k)
+				if err != nil {
+					return nil, err
+				}
+				res, err := e.Run(walk.Config{Kind: walk.Simple, WalkersPerVertex: opt.loadWalkers(), Steps: 4, Seed: 1})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f3(res.Stats.WaitRatio()))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// apps are the seven graph applications of §4.1: five random-walk
+// algorithms (run on the KnightKing-sim) and two iteration algorithms (run
+// on the Gemini-sim).
+var apps = []string{"PPR", "RWJ", "RWD", "DeepWalk", "node2vec", "PR", "CC"}
+
+// runApp executes one application under one scheme and returns the total
+// simulated running time.
+func runApp(app string, d gen.Dataset, opt Options, scheme string, k int) (float64, error) {
+	switch app {
+	case "PR":
+		e, err := iterEngine(d, opt, scheme, k)
+		if err != nil {
+			return 0, err
+		}
+		res, err := e.PageRank(10, 0.85)
+		if err != nil {
+			return 0, err
+		}
+		return res.Stats.TotalTime(), nil
+	case "CC":
+		e, err := iterEngine(d, opt, scheme, k)
+		if err != nil {
+			return 0, err
+		}
+		res, err := e.ConnectedComponents(0)
+		if err != nil {
+			return 0, err
+		}
+		return res.Stats.TotalTime(), nil
+	}
+	var kind walk.Kind
+	switch app {
+	case "PPR":
+		kind = walk.PPR
+	case "RWJ":
+		kind = walk.RWJ
+	case "RWD":
+		kind = walk.RWD
+	case "DeepWalk":
+		kind = walk.DeepWalk
+	case "node2vec":
+		kind = walk.Node2Vec
+	default:
+		return 0, fmt.Errorf("experiments: unknown app %q", app)
+	}
+	e, err := walkEngine(d, opt, scheme, k)
+	if err != nil {
+		return 0, err
+	}
+	res, err := e.Run(walk.Config{Kind: kind, WalkersPerVertex: opt.appWalkers(), Seed: 1})
+	if err != nil {
+		return 0, err
+	}
+	return res.Stats.TotalTime(), nil
+}
+
+// Fig14 reproduces Figure 14: the running time of all seven applications
+// under Chunk-V, Chunk-E, Fennel and BPart, normalized to Chunk-V = 1.
+// BPart should be the fastest column nearly everywhere (the paper reports
+// 5–70% reductions).
+func Fig14(opt Options) (*Table, error) {
+	const k = 8
+	t := &Table{
+		ID:     "Fig 14",
+		Title:  "Normalized running time of graph applications (k=8, Chunk-V = 1)",
+		Header: []string{"graph", "app", "Chunk-V", "Chunk-E", "Fennel", "BPart"},
+	}
+	for _, d := range gen.Datasets() {
+		for _, app := range apps {
+			times := make([]float64, len(compareSchemes))
+			for i, scheme := range compareSchemes {
+				x, err := runApp(app, d, opt, scheme, k)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%s: %w", d, app, scheme, err)
+				}
+				times[i] = x
+			}
+			base := times[0]
+			row := []string{string(d), app}
+			for _, x := range times {
+				row = append(row, f3(x/base))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// Fig15 reproduces Figure 15: Hash vs BPart running time (Hash = 1) on
+// twitter-sim and friendster-sim. Both are two-dimensionally balanced, so
+// the gap isolates the value of fewer edge cuts: the paper reports 5–20%
+// for walk applications and 20–35% for PR/CC.
+func Fig15(opt Options) (*Table, error) {
+	const k = 8
+	t := &Table{
+		ID:     "Fig 15",
+		Title:  "Normalized computation time, Hash vs BPart (k=8, Hash = 1)",
+		Header: []string{"graph", "app", "Hash", "BPart"},
+	}
+	for _, d := range []gen.Dataset{gen.TwitterSim, gen.FriendsterSim} {
+		for _, app := range apps {
+			hash, err := runApp(app, d, opt, "Hash", k)
+			if err != nil {
+				return nil, err
+			}
+			bp, err := runApp(app, d, opt, "BPart", k)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(string(d), app, "1.000", f3(bp/hash))
+		}
+	}
+	return t, nil
+}

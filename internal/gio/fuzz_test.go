@@ -1,0 +1,71 @@
+package gio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets for the two parsers: arbitrary input must never panic, and
+// anything that parses must re-serialize and re-parse to the same graph.
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n"))
+	f.Add([]byte("# comment\n5 5\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("a b\n"))
+	f.Add([]byte("0\t1\n 2  3 \n%x\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("reserialize: %v", err)
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("reparse: %v", err)
+		}
+		if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %v vs %v", g, back)
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	g := sample()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("BPG1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph invalid: %v", err)
+		}
+	})
+}
+
+func FuzzReadAssignment(f *testing.F) {
+	f.Add([]byte("# bpart assignment k=2 n=2\n0\n1\n"))
+	f.Add([]byte("# bpart assignment k=1 n=0\n"))
+	f.Add([]byte("junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parts, k, err := ReadAssignment(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, p := range parts {
+			if p < 0 || p >= k {
+				t.Fatalf("accepted out-of-range part %d (k=%d)", p, k)
+			}
+		}
+	})
+}

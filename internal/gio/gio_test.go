@@ -1,0 +1,243 @@
+package gio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bpart/internal/gen"
+	"bpart/internal/graph"
+)
+
+func sample() *graph.Graph {
+	return graph.FromAdjacency([][]graph.VertexID{{1, 2}, {3}, {}, {0}})
+}
+
+func equalGraphs(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	return reflect.DeepEqual(a.EdgeList(), b.EdgeList())
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := sample()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalGraphs(g, back) {
+		t.Fatalf("round trip changed graph:\n%v\nvs\n%v", g.EdgeList(), back.EdgeList())
+	}
+}
+
+func TestEdgeListCommentsAndWhitespace(t *testing.T) {
+	in := "# comment\n% konect comment\n\n 0\t1 \n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("parsed %v", g)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatalf("edges wrong: %v", g.EdgeList())
+	}
+}
+
+func TestEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",                      // one field
+		"a b\n",                    // bad src
+		"0 b\n",                    // bad dst
+		"0 -1\n",                   // negative
+		"99999999999999999999 0\n", // overflow
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestEdgeListEmpty(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# nothing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty input produced %v", g)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := sample()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalGraphs(g, back) {
+		t.Fatal("binary round trip changed graph")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("BPG1"), // truncated header
+		append([]byte("BPG1"), make([]byte, 16)...), // n=0 m=0 is fine, so append a degree overflow variant below
+	}
+	for i, in := range cases[:3] {
+		if _, err := ReadBinary(bytes.NewReader(in)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// n=0, m=0 must parse to the empty graph.
+	g, err := ReadBinary(bytes.NewReader(cases[3]))
+	if err != nil {
+		t.Fatalf("empty binary graph rejected: %v", err)
+	}
+	if g.NumVertices() != 0 {
+		t.Fatalf("got %v", g)
+	}
+}
+
+func TestBinaryRejectsInconsistentDegreeSum(t *testing.T) {
+	g := sample()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt the edge count in the header.
+	data[4+8] ^= 0xFF
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupted edge count accepted")
+	}
+}
+
+func TestBinaryRejectsOutOfRangeTarget(t *testing.T) {
+	g := sample()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Last 4 bytes are the final target; make it huge.
+	for i := len(data) - 4; i < len(data); i++ {
+		data[i] = 0xFF
+	}
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+}
+
+func TestFileRoundTripBothFormats(t *testing.T) {
+	g := sample()
+	dir := t.TempDir()
+	for _, name := range []string{"g.el", "g.bg", "g.el.gz", "g.bg.gz"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !equalGraphs(g, back) {
+			t.Fatalf("%s: round trip changed graph", name)
+		}
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.el")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadFileBadGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.el.gz")
+	if err := os.WriteFile(path, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("corrupt gzip accepted")
+	}
+}
+
+func TestGzipActuallyCompresses(t *testing.T) {
+	g, err := gen.ChungLu(gen.Config{NumVertices: 2000, AvgDegree: 10, Skew: 0.7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "g.el")
+	zipped := filepath.Join(dir, "g.el.gz")
+	if err := WriteFile(plain, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(zipped, g); err != nil {
+		t.Fatal(err)
+	}
+	ps, _ := os.Stat(plain)
+	zs, _ := os.Stat(zipped)
+	if zs.Size() >= ps.Size() {
+		t.Fatalf("gzip file (%d) not smaller than plain (%d)", zs.Size(), ps.Size())
+	}
+}
+
+// Property: any generated graph round-trips through both formats.
+func TestQuickRoundTrips(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := gen.ChungLu(gen.Config{
+			NumVertices: int(seed%100) + 5,
+			AvgDegree:   3,
+			Skew:        0.7,
+			Seed:        seed,
+		})
+		if err != nil {
+			return false
+		}
+		var tb, eb bytes.Buffer
+		if WriteBinary(&tb, g) != nil || WriteEdgeList(&eb, g) != nil {
+			return false
+		}
+		b1, err1 := ReadBinary(&tb)
+		b2, err2 := ReadEdgeList(&eb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return equalGraphs(g, b1) && equalGraphs(g, b2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBinaryWrite(b *testing.B) {
+	g, err := gen.ChungLu(gen.Config{NumVertices: 20000, AvgDegree: 16, Skew: 0.75, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

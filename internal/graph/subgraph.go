@@ -1,0 +1,78 @@
+package graph
+
+// InducedSubgraph extracts the subgraph induced by the given vertex set:
+// its vertices are renumbered 0..len(vs)-1 in the order given, and an arc is
+// kept iff both endpoints are in the set. The second return value maps new
+// IDs back to the original ones.
+//
+// The BPart combining phase conceptually re-partitions the "remaining graph"
+// formed by the not-yet-balanced subgraphs (§3.3); the streaming partitioner
+// does this with a vertex filter, but the induced subgraph is needed by the
+// multilevel baseline's coarsening and by tests.
+func InducedSubgraph(g *Graph, vs []VertexID) (*Graph, []VertexID) {
+	newID := make(map[VertexID]VertexID, len(vs))
+	back := make([]VertexID, len(vs))
+	for i, v := range vs {
+		newID[v] = VertexID(i)
+		back[i] = v
+	}
+	b := NewBuilder(len(vs))
+	for i, v := range vs {
+		for _, u := range g.Neighbors(v) {
+			if nu, ok := newID[u]; ok {
+				b.AddEdge(VertexID(i), nu)
+			}
+		}
+	}
+	return b.Build(), back
+}
+
+// CountCrossEdges returns, for a vertex→part assignment, the number of arcs
+// whose endpoints live in different parts. assignment must have one entry
+// per vertex. This is the raw quantity behind the paper's edge-cut ratio
+// (Table 3, Fig 5a).
+func CountCrossEdges(g *Graph, assignment []int) int {
+	cut := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		pv := assignment[v]
+		for _, u := range g.Neighbors(VertexID(v)) {
+			if assignment[u] != pv {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// PairConnectivity returns a k×k matrix m where m[a][b] counts arcs from
+// part a to part b (a != b contributions only are meaningful for
+// connectivity; the diagonal counts internal arcs). Used to reproduce the
+// §3.3 connectivity claim that any two of the 64 small pieces share many
+// thousands of edge connections.
+func PairConnectivity(g *Graph, assignment []int, k int) [][]int {
+	m := make([][]int, k)
+	for i := range m {
+		m[i] = make([]int, k)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		pv := assignment[v]
+		for _, u := range g.Neighbors(VertexID(v)) {
+			m[pv][assignment[u]]++
+		}
+	}
+	return m
+}
+
+// PartSizes returns per-part vertex and edge counts (edges owned by source
+// vertex, i.e. |E_i| = Σ_{v∈V_i} outdeg(v)), the two quantities whose
+// balance BPart targets.
+func PartSizes(g *Graph, assignment []int, k int) (vertices, edges []int) {
+	vertices = make([]int, k)
+	edges = make([]int, k)
+	for v := 0; v < g.NumVertices(); v++ {
+		p := assignment[v]
+		vertices[p]++
+		edges[p] += g.OutDegree(VertexID(v))
+	}
+	return vertices, edges
+}

@@ -1,0 +1,110 @@
+package partition
+
+import (
+	"testing"
+
+	"bpart/internal/gen"
+	"bpart/internal/graph"
+)
+
+func isPermutation(order []graph.VertexID, n int) bool {
+	if len(order) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range order {
+		if int(v) >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func TestOrderByID(t *testing.T) {
+	order := OrderByID(5)
+	for i, v := range order {
+		if int(v) != i {
+			t.Fatalf("OrderByID[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestOrderRandomIsPermutation(t *testing.T) {
+	order := OrderRandom(100, 7)
+	if !isPermutation(order, 100) {
+		t.Fatal("not a permutation")
+	}
+	same := 0
+	for i, v := range order {
+		if int(v) == i {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Fatalf("%d fixed points in a 'random' order", same)
+	}
+	// Deterministic per seed.
+	again := OrderRandom(100, 7)
+	for i := range order {
+		if order[i] != again[i] {
+			t.Fatal("OrderRandom not deterministic for fixed seed")
+		}
+	}
+	other := OrderRandom(100, 8)
+	diff := 0
+	for i := range order {
+		if order[i] != other[i] {
+			diff++
+		}
+	}
+	if diff < 50 {
+		t.Fatalf("different seeds nearly identical: %d diffs", diff)
+	}
+}
+
+func TestOrderByDegree(t *testing.T) {
+	g, err := gen.ChungLu(gen.Config{NumVertices: 500, AvgDegree: 6, Skew: 0.8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := OrderByDegree(g, false)
+	if !isPermutation(desc, 500) {
+		t.Fatal("degree-desc not a permutation")
+	}
+	for i := 1; i < len(desc); i++ {
+		if g.OutDegree(desc[i]) > g.OutDegree(desc[i-1]) {
+			t.Fatalf("degree-desc not monotone at %d", i)
+		}
+	}
+	asc := OrderByDegree(g, true)
+	for i := 1; i < len(asc); i++ {
+		if g.OutDegree(asc[i]) < g.OutDegree(asc[i-1]) {
+			t.Fatalf("degree-asc not monotone at %d", i)
+		}
+	}
+}
+
+func TestStreamWithOrdersStillValid(t *testing.T) {
+	g := twitterish(t)
+	tr := g.Transpose()
+	for _, order := range [][]graph.VertexID{
+		OrderRandom(g.NumVertices(), 1),
+		OrderByDegree(g, false),
+		OrderByDegree(g, true),
+	} {
+		res, err := Stream(g, StreamOptions{K: 8, C: 1, In: tr, Vertices: order})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assigned := 0
+		for _, p := range res.Parts {
+			if p != Unassigned {
+				assigned++
+			}
+		}
+		if assigned != g.NumVertices() {
+			t.Fatalf("order stream assigned %d of %d", assigned, g.NumVertices())
+		}
+	}
+}

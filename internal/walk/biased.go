@@ -1,0 +1,74 @@
+package walk
+
+import (
+	"sync"
+
+	"bpart/internal/graph"
+	"bpart/internal/xrand"
+)
+
+// Static edge-weighted ("biased") walks are KnightKing's bread and butter:
+// each outgoing edge carries a static weight and the walker picks the next
+// hop proportionally. KnightKing pre-builds per-vertex alias tables so a
+// biased step stays O(1); this implementation does the same, building
+// tables lazily per vertex (hubs are hit constantly, cold vertices maybe
+// never) and sharing them across machines — they are immutable once built.
+//
+// Weights are synthetic and deterministic, mirroring internal/engine's
+// SSSP weights: weight(u,v) = 1 + hash(u,v) mod 8.
+
+// BiasedWalk selects static-weight transitions; configure it through
+// Config.Kind.
+const BiasedWalk Kind = Node2Vec + 1
+
+// StepWeight returns the deterministic synthetic weight of arc (u,v) in
+// [1, 8].
+func StepWeight(u, v graph.VertexID) float64 {
+	z := (uint64(u) << 32) | uint64(v)
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return float64((z^(z>>31))%8) + 1
+}
+
+// aliasCache lazily builds and shares per-vertex alias tables.
+type aliasCache struct {
+	g      *graph.Graph
+	mu     sync.Mutex
+	tables []*xrand.Alias
+}
+
+func newAliasCache(g *graph.Graph) *aliasCache {
+	return &aliasCache{g: g, tables: make([]*xrand.Alias, g.NumVertices())}
+}
+
+// table returns v's alias table, building it on first use. The double-
+// checked lock keeps the hot path (hub vertices) uncontended after the
+// first build.
+func (c *aliasCache) table(v graph.VertexID) *xrand.Alias {
+	c.mu.Lock()
+	t := c.tables[v]
+	if t == nil {
+		ns := c.g.Neighbors(v)
+		if len(ns) > 0 {
+			ws := make([]float64, len(ns))
+			for i, u := range ns {
+				ws[i] = StepWeight(v, u)
+			}
+			t = xrand.NewAlias(ws)
+			c.tables[v] = t
+		}
+	}
+	c.mu.Unlock()
+	return t
+}
+
+// biasedStep draws the next hop of a biased walk.
+func (e *Engine) biasedStep(wk *walker, rng *xrand.RNG) (graph.VertexID, bool) {
+	ns := e.g.Neighbors(wk.cur)
+	if len(ns) == 0 {
+		return 0, true
+	}
+	t := e.alias.table(wk.cur)
+	return ns[t.Sample(rng)], false
+}

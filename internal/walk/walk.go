@@ -1,0 +1,424 @@
+// Package walk is the KnightKing-like distributed random-walk engine of the
+// reproduction (§4.1): walker-centric, bulk-synchronous, running over the
+// simulated cluster of internal/cluster.
+//
+// Walkers live on the machine that owns their current vertex. Every BSP
+// iteration moves each active walker one step: steps executed on a machine
+// are its computation load (the quantity plotted per machine in Figs 4 and
+// 12), and a walker whose next vertex is owned by another machine is
+// transferred — a "message walk", the communication metric of Fig 5(b).
+// Machines run as concurrent goroutines with machine-private state and
+// outboxes, and each machine draws from its own deterministic RNG stream,
+// so results are reproducible regardless of scheduling.
+//
+// The five walk applications of the paper are supported: simple random
+// walks, personalized PageRank (terminate with fixed probability per
+// step), random walk with jump (teleport with fixed probability), random
+// walk with domination (walk with per-step domination marking), DeepWalk
+// (fixed-length uniform walks) and node2vec (second-order walks sampled by
+// KnightKing-style rejection sampling).
+package walk
+
+import (
+	"fmt"
+
+	"bpart/internal/cluster"
+	"bpart/internal/graph"
+	"bpart/internal/xrand"
+)
+
+// Kind selects the walk application.
+type Kind int
+
+// The walk applications of §4.1.
+const (
+	Simple Kind = iota
+	PPR
+	RWJ
+	RWD
+	DeepWalk
+	Node2Vec
+)
+
+// String returns the paper's name for the application.
+func (k Kind) String() string {
+	switch k {
+	case Simple:
+		return "SimpleWalk"
+	case PPR:
+		return "PPR"
+	case RWJ:
+		return "RWJ"
+	case RWD:
+		return "RWD"
+	case DeepWalk:
+		return "DeepWalk"
+	case Node2Vec:
+		return "node2vec"
+	case BiasedWalk:
+		return "BiasedWalk"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config parameterizes a walk run. Zero fields select per-Kind defaults in
+// Normalize (PPR stop probability 0.1 and RWJ jump probability 0.2 follow
+// §4.1; DeepWalk/node2vec default to longer walks than SimpleWalk).
+type Config struct {
+	Kind Kind
+	// WalkersPerVertex starts this many walkers on every vertex
+	// (the paper starts |V| or 5|V| walks). Default 1.
+	WalkersPerVertex int
+	// Steps is the walk length for fixed-length kinds and the step cap
+	// for probabilistic ones. Default 4 (Simple/RWJ/RWD), 10
+	// (DeepWalk/Node2Vec), 40 cap (PPR).
+	Steps int
+	// StopProb is PPR's per-step termination probability. Default 0.1.
+	StopProb float64
+	// JumpProb is RWJ's per-step teleport probability. Default 0.2.
+	JumpProb float64
+	// P and Q are node2vec's return and in-out parameters. Default 2.0
+	// and 0.5.
+	P, Q float64
+	// Seed drives all walker randomness.
+	Seed uint64
+	// TrackVisits records per-vertex visit counts (needed by the PPR
+	// distribution tests; RWD always tracks because domination marking
+	// is its purpose).
+	TrackVisits bool
+	// CollectPaths records every walker's full vertex sequence (starting
+	// vertex included) in Result.Paths — the walk corpus DeepWalk and
+	// node2vec feed to skip-gram training.
+	CollectPaths bool
+	// Sources restricts walker starts to these vertices (each gets
+	// WalkersPerVertex walkers). nil starts walkers on every vertex —
+	// the paper's |V|-walks setting. A single-source PPR run with
+	// TrackVisits yields that source's personalized PageRank estimate.
+	Sources []graph.VertexID
+}
+
+// Normalize fills defaults and validates.
+func (c *Config) Normalize() error {
+	if c.Kind < Simple || c.Kind > BiasedWalk {
+		return fmt.Errorf("walk: unknown kind %d", int(c.Kind))
+	}
+	if c.WalkersPerVertex == 0 {
+		c.WalkersPerVertex = 1
+	}
+	if c.WalkersPerVertex < 0 {
+		return fmt.Errorf("walk: WalkersPerVertex = %d", c.WalkersPerVertex)
+	}
+	if c.Steps == 0 {
+		switch c.Kind {
+		case DeepWalk, Node2Vec:
+			c.Steps = 10
+		case PPR:
+			c.Steps = 40
+		default:
+			c.Steps = 4
+		}
+	}
+	if c.Steps < 0 {
+		return fmt.Errorf("walk: Steps = %d", c.Steps)
+	}
+	if c.StopProb == 0 {
+		c.StopProb = 0.1
+	}
+	if c.StopProb < 0 || c.StopProb > 1 {
+		return fmt.Errorf("walk: StopProb = %v", c.StopProb)
+	}
+	if c.JumpProb == 0 {
+		c.JumpProb = 0.2
+	}
+	if c.JumpProb < 0 || c.JumpProb > 1 {
+		return fmt.Errorf("walk: JumpProb = %v", c.JumpProb)
+	}
+	if c.P == 0 {
+		c.P = 2.0
+	}
+	if c.Q == 0 {
+		c.Q = 0.5
+	}
+	if c.P < 0 || c.Q < 0 {
+		return fmt.Errorf("walk: P = %v, Q = %v, want > 0", c.P, c.Q)
+	}
+	if c.Kind == RWD {
+		c.TrackVisits = true
+	}
+	return nil
+}
+
+// Engine binds a graph and a placement.
+type Engine struct {
+	g     *graph.Graph
+	cl    *cluster.Cluster
+	owned [][]graph.VertexID
+	alias *aliasCache // per-vertex transition tables for BiasedWalk
+}
+
+// New builds a walk engine for g with the given vertex→machine assignment.
+func New(g *graph.Graph, assignment []int, machines int, model cluster.CostModel) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("walk: nil graph")
+	}
+	if len(assignment) != g.NumVertices() {
+		return nil, fmt.Errorf("walk: %d assignments for %d vertices", len(assignment), g.NumVertices())
+	}
+	cl, err := cluster.New(assignment, machines, model)
+	if err != nil {
+		return nil, err
+	}
+	owned := make([][]graph.VertexID, machines)
+	for v := 0; v < g.NumVertices(); v++ {
+		owned[assignment[v]] = append(owned[assignment[v]], graph.VertexID(v))
+	}
+	return &Engine{g: g, cl: cl, owned: owned, alias: newAliasCache(g)}, nil
+}
+
+// Cluster exposes the underlying simulated cluster.
+func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
+
+// walker is one active random walk.
+type walker struct {
+	cur       graph.VertexID
+	prev      graph.VertexID // node2vec second-order state
+	remaining int32
+	hasPrev   bool
+	path      []graph.VertexID // nil unless Config.CollectPaths
+}
+
+// Result is the outcome of a walk run.
+type Result struct {
+	Stats cluster.RunStats
+	// TotalSteps is the total number of walk steps executed.
+	TotalSteps int64
+	// MessageWalks counts walker transfers between machines (Fig 5b).
+	MessageWalks int64
+	// Visits[v] counts arrivals at v (nil unless tracked).
+	Visits []int64
+	// Paths holds every walker's vertex sequence when
+	// Config.CollectPaths is set (order unspecified).
+	Paths [][]graph.VertexID
+	// Traffic[from][to] counts walker transfers between each ordered
+	// machine pair — the communication pattern behind MessageWalks.
+	Traffic [][]int64
+	// Finished counts walkers that terminated (all of them, at the end).
+	Finished int64
+}
+
+// Run executes the configured walk to completion.
+func (e *Engine) Run(cfg Config) (*Result, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	n := e.g.NumVertices()
+	k := e.cl.NumMachines()
+
+	// Per-machine state.
+	active := make([][]walker, k)
+	rngs := make([]*xrand.RNG, k)
+	base := xrand.New(cfg.Seed)
+	var sourceSet []bool
+	if cfg.Sources != nil {
+		sourceSet = make([]bool, n)
+		for _, v := range cfg.Sources {
+			if int(v) >= n {
+				return nil, fmt.Errorf("walk: source %d out of range [0,%d)", v, n)
+			}
+			sourceSet[v] = true
+		}
+	}
+	totalWalkers := 0
+	for m := 0; m < k; m++ {
+		rngs[m] = base.Fork()
+		for _, v := range e.owned[m] {
+			if sourceSet != nil && !sourceSet[v] {
+				continue
+			}
+			for i := 0; i < cfg.WalkersPerVertex; i++ {
+				wk := walker{cur: v, remaining: int32(cfg.Steps)}
+				if cfg.CollectPaths {
+					wk.path = append(make([]graph.VertexID, 0, cfg.Steps+1), v)
+				}
+				active[m] = append(active[m], wk)
+				totalWalkers++
+			}
+		}
+	}
+	// finished[m] collects completed paths machine-locally; merge-phase
+	// completions go straight to res.Paths.
+	finished := make([][][]graph.VertexID, k)
+	var visits []int64
+	if cfg.TrackVisits {
+		visits = make([]int64, n)
+	}
+	// outbox[from][to] carries migrating walkers; inboxes are merged
+	// between supersteps, so machines never touch shared state.
+	outbox := make([][][]walker, k)
+	for m := range outbox {
+		outbox[m] = make([][]walker, k)
+	}
+
+	res := &Result{Visits: visits, Traffic: make([][]int64, k)}
+	for m := range res.Traffic {
+		res.Traffic[m] = make([]int64, k)
+	}
+	for iter := 0; ; iter++ {
+		total := 0
+		for m := 0; m < k; m++ {
+			total += len(active[m])
+		}
+		if total == 0 {
+			break
+		}
+		w := e.cl.NewCounters()
+		e.cl.Parallel(func(m int) {
+			rng := rngs[m]
+			out := outbox[m]
+			var steps, msgs, verts int64
+			kept := active[m][:0]
+			for _, wk := range active[m] {
+				next, done := e.step(&wk, cfg, rng)
+				steps++
+				if cfg.Kind == RWD {
+					// Domination marking is an extra vertex update.
+					verts++
+				}
+				if done {
+					// Termination event (PPR stop, dead end): the step
+					// is consumed but the walker moves nowhere.
+					if cfg.CollectPaths {
+						finished[m] = append(finished[m], wk.path)
+					}
+					continue
+				}
+				wk.prev, wk.hasPrev = wk.cur, true
+				wk.cur = next
+				wk.remaining--
+				if cfg.CollectPaths {
+					wk.path = append(wk.path, next)
+				}
+				dst := e.cl.Owner(next)
+				if dst == m {
+					// visits[next] is safe to write here: only next's
+					// owner ever touches it during a superstep.
+					if cfg.TrackVisits {
+						visits[next]++
+					}
+					if wk.remaining > 0 {
+						kept = append(kept, wk)
+					} else if cfg.CollectPaths {
+						finished[m] = append(finished[m], wk.path)
+					}
+				} else {
+					// Migration: a message walk. Visit counting and
+					// (if steps remain) re-activation happen at
+					// delivery in the sequential merge phase.
+					msgs++
+					out[dst] = append(out[dst], wk)
+				}
+			}
+			active[m] = kept
+			w.Steps[m] = steps
+			w.Messages[m] = msgs
+			w.Vertices[m] = verts
+		})
+		// Merge phase: deliver outboxes.
+		for from := 0; from < k; from++ {
+			for to := 0; to < k; to++ {
+				res.Traffic[from][to] += int64(len(outbox[from][to]))
+				for _, wk := range outbox[from][to] {
+					if cfg.TrackVisits {
+						visits[wk.cur]++
+					}
+					if wk.remaining > 0 {
+						active[to] = append(active[to], wk)
+					} else if cfg.CollectPaths {
+						res.Paths = append(res.Paths, wk.path)
+					}
+				}
+				outbox[from][to] = outbox[from][to][:0]
+			}
+		}
+		res.Stats.Add(e.cl.FinishIteration(w))
+	}
+	if cfg.CollectPaths {
+		for m := 0; m < k; m++ {
+			res.Paths = append(res.Paths, finished[m]...)
+		}
+	}
+	for _, it := range res.Stats.Iterations {
+		for _, s := range it.Work.Steps {
+			res.TotalSteps += s
+		}
+		for _, msg := range it.Work.Messages {
+			res.MessageWalks += msg
+		}
+	}
+	res.Finished = int64(totalWalkers)
+	return res, nil
+}
+
+// step advances one walker by one step. It returns the next vertex and
+// whether the walk terminated on this step (termination consumes the step
+// but produces no movement).
+func (e *Engine) step(wk *walker, cfg Config, rng *xrand.RNG) (graph.VertexID, bool) {
+	switch cfg.Kind {
+	case PPR:
+		if rng.Bool(cfg.StopProb) {
+			return 0, true
+		}
+	case RWJ:
+		if rng.Bool(cfg.JumpProb) {
+			return graph.VertexID(rng.Intn(e.g.NumVertices())), false
+		}
+	}
+	ns := e.g.Neighbors(wk.cur)
+	if len(ns) == 0 {
+		// Dead end: RWJ teleports, everything else terminates.
+		if cfg.Kind == RWJ {
+			return graph.VertexID(rng.Intn(e.g.NumVertices())), false
+		}
+		return 0, true
+	}
+	switch {
+	case cfg.Kind == Node2Vec && wk.hasPrev:
+		return e.node2vecStep(wk, cfg, rng, ns), false
+	case cfg.Kind == BiasedWalk:
+		return e.biasedStep(wk, rng)
+	}
+	return ns[rng.Intn(len(ns))], false
+}
+
+// node2vecStep samples the second-order transition with KnightKing-style
+// rejection sampling: propose a uniform out-neighbor x of cur, accept with
+// probability w(x)/M where w(x) is 1/P when x is the previous vertex, 1
+// when x is a neighbor of the previous vertex, and 1/Q otherwise, and M is
+// the maximum of the three weights.
+func (e *Engine) node2vecStep(wk *walker, cfg Config, rng *xrand.RNG, ns []graph.VertexID) graph.VertexID {
+	maxW := 1.0
+	if 1/cfg.P > maxW {
+		maxW = 1 / cfg.P
+	}
+	if 1/cfg.Q > maxW {
+		maxW = 1 / cfg.Q
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		x := ns[rng.Intn(len(ns))]
+		var w float64
+		switch {
+		case x == wk.prev:
+			w = 1 / cfg.P
+		case e.g.HasEdge(wk.prev, x):
+			w = 1
+		default:
+			w = 1 / cfg.Q
+		}
+		if rng.Float64()*maxW < w {
+			return x
+		}
+	}
+	// Pathological rejection streak: fall back to first-order.
+	return ns[rng.Intn(len(ns))]
+}

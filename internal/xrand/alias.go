@@ -1,0 +1,97 @@
+package xrand
+
+import "math"
+
+// Alias is a Vose alias table supporting O(1) sampling from an arbitrary
+// discrete distribution. Construction is O(n). It backs the
+// degree-proportional endpoint sampling in the graph generators and the
+// weighted neighbor selection in the walk engine, both of which draw
+// millions of samples per experiment.
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table over the given non-negative weights.
+// At least one weight must be positive.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	if n == 0 {
+		panic("xrand: empty weight vector")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("xrand: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("xrand: all weights zero")
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, l := range large {
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	for _, s := range small {
+		// Numerical leftovers: treat as certain.
+		a.prob[s] = 1
+		a.alias[s] = s
+	}
+	return a
+}
+
+// Len returns the number of outcomes.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Sample draws one outcome index using rng.
+func (a *Alias) Sample(rng *RNG) int {
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// PowerLawWeights returns weights w[i] = (i + shift)^(-s) for i in [0, n).
+// With s in (0,1) this is the ranked ("Zipfian") weight profile used by the
+// Chung–Lu generator: vertex 0 is the highest-weight hub, mirroring social
+// graphs where low IDs belong to the oldest, best-connected accounts.
+func PowerLawWeights(n int, s, shift float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Pow(float64(i)+shift, -s)
+	}
+	return w
+}

@@ -1,0 +1,89 @@
+// Package xrand provides the deterministic random-number and sampling
+// machinery used across the repository: a splitmix64 PRNG whose streams are
+// reproducible across platforms and Go releases, Vose alias tables for O(1)
+// weighted sampling (degree-proportional endpoint selection in the graph
+// generators, first-order transition sampling in the walk engine), and small
+// helpers (shuffle, geometric-ish power-law draws).
+//
+// Determinism matters here: every experiment table in EXPERIMENTS.md must be
+// regenerable bit-for-bit, so no code path may consult math/rand's global
+// state or any time-seeded source.
+package xrand
+
+import "math"
+
+// RNG is a splitmix64 pseudo-random generator. The zero value is a valid
+// generator seeded with 0; use New for an explicit seed.
+type RNG struct {
+	state uint64
+}
+
+// New returns an RNG seeded with seed.
+func New(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits (splitmix64 step).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Fork returns a new RNG whose stream is derived from, but independent of,
+// the receiver's. Used to give each simulated machine / walker batch its own
+// stream so parallel execution order does not change results.
+func (r *RNG) Fork() *RNG {
+	return New(r.Uint64() ^ 0xD1B54A32D192ED03)
+}
+
+// Shuffle permutes the first n elements using swap (Fisher–Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Geometric returns a draw from a geometric distribution with success
+// probability p, i.e. the number of failures before the first success.
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 || p >= 1 {
+		if p >= 1 {
+			return 0
+		}
+		panic("xrand: Geometric needs 0 < p <= 1")
+	}
+	u := r.Float64()
+	// Avoid log(0).
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return int(math.Log(u) / math.Log(1-p))
+}

@@ -1,0 +1,253 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r RNG
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero-value RNG stuck at zero")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	seen := make([]bool, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("value %d never drawn", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolBias(t *testing.T) {
+	r := New(3)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.2) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.2) > 0.01 {
+		t.Fatalf("Bool(0.2) hit rate %v", p)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := New(5)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forked streams start identically")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(9)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatalf("duplicate %d in permutation", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(13)
+	const p = 0.25
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / n
+	want := (1 - p) / p // = 3
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("Geometric(%v) mean %v, want ~%v", p, mean, want)
+	}
+	if r.Geometric(1.0) != 0 {
+		t.Fatal("Geometric(1) must be 0")
+	}
+}
+
+func TestAliasUniform(t *testing.T) {
+	a := NewAlias([]float64{1, 1, 1, 1})
+	r := New(17)
+	counts := make([]int, 4)
+	const n = 400000
+	for i := 0; i < n; i++ {
+		counts[a.Sample(r)]++
+	}
+	for i, c := range counts {
+		if p := float64(c) / n; math.Abs(p-0.25) > 0.01 {
+			t.Fatalf("outcome %d prob %v, want 0.25", i, p)
+		}
+	}
+}
+
+func TestAliasSkewed(t *testing.T) {
+	a := NewAlias([]float64{8, 1, 1, 0})
+	r := New(19)
+	counts := make([]int, 4)
+	const n = 400000
+	for i := 0; i < n; i++ {
+		counts[a.Sample(r)]++
+	}
+	if counts[3] != 0 {
+		t.Fatalf("zero-weight outcome drawn %d times", counts[3])
+	}
+	if p := float64(counts[0]) / n; math.Abs(p-0.8) > 0.01 {
+		t.Fatalf("heavy outcome prob %v, want 0.8", p)
+	}
+}
+
+func TestAliasSingle(t *testing.T) {
+	a := NewAlias([]float64{3.5})
+	r := New(23)
+	for i := 0; i < 100; i++ {
+		if a.Sample(r) != 0 {
+			t.Fatal("single-outcome alias returned nonzero")
+		}
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for name, weights := range map[string][]float64{
+		"empty":    {},
+		"zero":     {0, 0},
+		"negative": {1, -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewAlias(%s) did not panic", name)
+				}
+			}()
+			NewAlias(weights)
+		}()
+	}
+}
+
+// Property: alias sampling over random weights matches the weight
+// distribution within statistical tolerance.
+func TestQuickAliasDistribution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := r.Intn(20) + 2
+		weights := make([]float64, n)
+		var total float64
+		for i := range weights {
+			weights[i] = float64(r.Intn(10))
+			total += weights[i]
+		}
+		if total == 0 {
+			weights[0], total = 1, 1
+		}
+		a := NewAlias(weights)
+		counts := make([]int, n)
+		const draws = 100000
+		for i := 0; i < draws; i++ {
+			counts[a.Sample(r)]++
+		}
+		for i := range weights {
+			want := weights[i] / total
+			got := float64(counts[i]) / draws
+			if math.Abs(got-want) > 0.015 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLawWeights(t *testing.T) {
+	w := PowerLawWeights(100, 0.75, 1)
+	if len(w) != 100 {
+		t.Fatalf("len = %d", len(w))
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] > w[i-1] {
+			t.Fatalf("weights not non-increasing at %d", i)
+		}
+	}
+	if w[0] != 1 {
+		t.Fatalf("w[0] = %v, want 1", w[0])
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	a := NewAlias(PowerLawWeights(1<<16, 0.75, 1))
+	r := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Sample(r)
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
