@@ -88,3 +88,50 @@ func BenchmarkPartitionFennel(b *testing.B)     { benchPartition(b, "Fennel", 8)
 func BenchmarkPartitionBPart(b *testing.B)      { benchPartition(b, "BPart", 8) }
 func BenchmarkPartitionBPart128(b *testing.B)   { benchPartition(b, "BPart", 128) }
 func BenchmarkPartitionMultilevel(b *testing.B) { benchPartition(b, "Multilevel", 8) }
+
+// Telemetry overhead: BPart with the default no-op tracer explicitly
+// attached must stay within noise (<5%) of the uninstrumented
+// BenchmarkPartitionBPart above. Compare with:
+//
+//	go test -bench 'PartitionBPart$|PartitionTracedNop' -count 10 .
+func BenchmarkPartitionTracedNop(b *testing.B) {
+	g, err := Preset(TwitterSim, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !Instrument(p, NopTrace(), nil) {
+		b.Fatal("BPart did not accept instrumentation")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Partition(g, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// And the fully-instrumented cost (memory tracer + live registry), for
+// reference rather than as a gate.
+func BenchmarkPartitionTracedMemory(b *testing.B) {
+	g, err := Preset(TwitterSim, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := NewMemoryTrace()
+	Instrument(p, tr, NewMetrics())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Partition(g, 8); err != nil {
+			b.Fatal(err)
+		}
+		tr.Reset()
+	}
+}

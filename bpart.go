@@ -16,6 +16,8 @@ package bpart
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 
 	"bpart/internal/cluster"
 	"bpart/internal/core"
@@ -28,6 +30,7 @@ import (
 	"bpart/internal/metrics"
 	"bpart/internal/multilevel"
 	"bpart/internal/partition"
+	"bpart/internal/telemetry"
 	"bpart/internal/vcut"
 	"bpart/internal/walk"
 )
@@ -150,6 +153,73 @@ func Partition(g *Graph, scheme string, k int) (*Assignment, error) {
 	}
 	return p.Partition(g, k)
 }
+
+// NewScheme returns a fresh instance of the named partitioning scheme, so
+// that a caller can Instrument it before partitioning.
+func NewScheme(scheme string) (Partitioner, error) { return partition.Get(scheme) }
+
+// ---- telemetry ----
+
+// Tracer receives structured span/event records from instrumented
+// components. Use NewJSONLTrace for a persistent trace, NewMemoryTrace for
+// tests, NopTrace to disable.
+type Tracer = telemetry.Tracer
+
+// TraceRecord is one finished span or event.
+type TraceRecord = telemetry.Record
+
+// Metrics is a named counter/gauge registry with a Prometheus-style text
+// exporter and an expvar-compatible snapshot.
+type Metrics = telemetry.Registry
+
+// MemoryTracer buffers records in memory (tests, ad-hoc inspection).
+type MemoryTracer = telemetry.Memory
+
+// JSONLTracer streams records as JSON lines to a writer.
+type JSONLTracer = telemetry.JSONL
+
+// TraceAttr is one key/value annotation on a span or event.
+type TraceAttr = telemetry.Attr
+
+// TraceString makes a string-valued annotation.
+func TraceString(key, v string) TraceAttr { return telemetry.String(key, v) }
+
+// TraceInt makes an integer-valued annotation.
+func TraceInt(key string, v int) TraceAttr { return telemetry.Int(key, v) }
+
+// TraceFloat makes a float-valued annotation.
+func TraceFloat(key string, v float64) TraceAttr { return telemetry.Float(key, v) }
+
+// NopTrace returns the no-op tracer (the default on every component).
+func NopTrace() Tracer { return telemetry.Nop() }
+
+// NewMemoryTrace returns a tracer that buffers records in memory.
+func NewMemoryTrace() *MemoryTracer { return telemetry.NewMemory() }
+
+// NewJSONLTrace returns a tracer that appends one JSON line per record to
+// w. Call Flush (or Close) when done.
+func NewJSONLTrace(w io.Writer) *JSONLTracer { return telemetry.NewJSONL(w) }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return telemetry.NewRegistry() }
+
+// Instrument attaches a tracer and metrics registry to any component that
+// supports telemetry (BPart, IterationEngine, WalkEngine, and the scheme
+// instances returned by NewScheme when they are BPart). It reports whether
+// the component accepted the instrumentation.
+func Instrument(component any, tr Tracer, m *Metrics) bool {
+	in, ok := component.(telemetry.Instrumentable)
+	if !ok {
+		return false
+	}
+	in.SetTelemetry(tr, m)
+	return true
+}
+
+// DebugMux returns an http.ServeMux serving /debug/pprof/* profiles,
+// /metrics (Prometheus text) and /debug/vars (expvar JSON) for the given
+// registry — mount it behind a diagnostics listener.
+func DebugMux(m *Metrics) *http.ServeMux { return telemetry.DebugMux(m) }
 
 // ---- vertex-cut partitioning (the §5 alternative family) ----
 

@@ -8,11 +8,18 @@
 //	bench -scale 0.2       # quicker, smaller datasets
 //	bench -id "Fig 13" -id "Table 3"
 //	bench -list
+//	bench -trace run.jsonl -pprof localhost:6060
+//
+// With -trace, one "bench.experiment" span per experiment (id, duration,
+// row count) is appended as JSON lines. With -pprof, /debug/pprof/*,
+// /metrics and /debug/vars are served on the given address while the
+// benchmark runs — profile the harness live.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,6 +39,8 @@ func main() {
 	walkers := flag.Int("walkers", 0, "override walkers per vertex (0 = paper defaults)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	csvDir := flag.String("csv", "", "also write each experiment as CSV into this directory")
+	tracePath := flag.String("trace", "", "write a JSONL trace (one span per experiment) to this file")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /metrics and /debug/vars on this address")
 	flag.Var(&ids, "id", "experiment ID to run (repeatable; default all)")
 	flag.Parse()
 
@@ -40,6 +49,31 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+
+	tracer := bpart.NopTrace()
+	reg := bpart.NewMetrics()
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		jl := bpart.NewJSONLTrace(f)
+		tracer = jl
+		defer func() {
+			jl.Close()
+			f.Close()
+		}()
+	}
+	if *pprofAddr != "" {
+		addr := *pprofAddr
+		go func() {
+			if err := http.ListenAndServe(addr, bpart.DebugMux(reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: pprof listener:", err)
+			}
+		}()
+		fmt.Printf("# diagnostics on http://%s/debug/pprof/\n", addr)
 	}
 	selected := map[string]bool{}
 	for _, id := range ids {
@@ -54,12 +88,18 @@ func main() {
 			continue
 		}
 		start := time.Now()
+		sp := tracer.Span("bench.experiment",
+			bpart.TraceString("id", id),
+			bpart.TraceFloat("scale", *scale))
 		tbl, err := bpart.RunExperiment(id, opt)
 		if err != nil {
+			sp.End(bpart.TraceString("error", err.Error()))
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			failed++
 			continue
 		}
+		sp.End(bpart.TraceInt("rows", len(tbl.Rows)))
+		reg.Counter("bench_experiments_total").Inc()
 		fmt.Printf("%s   [%.1fs]\n\n", tbl, time.Since(start).Seconds())
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, id, tbl); err != nil {

@@ -13,11 +13,19 @@
 // binary) or a named synthetic dataset (-dataset at -scale). With -all,
 // every registered scheme is run and compared on one line each. With
 // -out, the vertex→part assignment is written one part id per line.
+//
+// Observability: -trace out.jsonl streams structured spans (one per BPart
+// combining layer, streaming pass and refine pass, plus one record per BSP
+// superstep when -timeline runs) as JSON lines; -metrics prints the
+// counter/gauge registry in Prometheus text format on exit; -pprof ADDR
+// serves /debug/pprof/*, /metrics and /debug/vars on ADDR for the run's
+// duration.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
@@ -37,8 +45,17 @@ func main() {
 		outPath   = flag.String("out", "", "write the vertex→part assignment to this file")
 		evalPath  = flag.String("eval", "", "evaluate an existing assignment file instead of partitioning")
 		timeline  = flag.String("timeline", "", "run a 5|V|-walker random walk on the partition and write the per-machine BSP timeline CSV here")
+		tracePath = flag.String("trace", "", "write a JSONL span/event trace of the run to this file")
+		metrics   = flag.Bool("metrics", false, "print telemetry counters (Prometheus text format) on exit")
+		pprofAddr = flag.String("pprof", "", "serve /debug/pprof, /metrics and /debug/vars on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	tel, err := setupTelemetry(*tracePath, *metrics, *pprofAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer tel.finish()
 	if *list {
 		for _, s := range bpart.Schemes() {
 			fmt.Println(s)
@@ -86,7 +103,7 @@ func main() {
 		fmt.Printf("%-12s %10s %10s %10s %10s %10s %10s\n",
 			"scheme", "Vbias", "Ebias", "Vjain", "Ejain", "cut", "time(s)")
 		for _, s := range bpart.Schemes() {
-			r, dt, err := run(g, s, *k)
+			r, dt, err := run(g, s, *k, tel)
 			if err != nil {
 				fatal(err)
 			}
@@ -96,8 +113,13 @@ func main() {
 		return
 	}
 
+	p, err := bpart.NewScheme(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	bpart.Instrument(p, tel.tracer, tel.reg)
 	start := time.Now()
-	a, err := bpart.Partition(g, *scheme, *k)
+	a, err := p.Partition(g, *k)
 	if err != nil {
 		fatal(err)
 	}
@@ -114,20 +136,76 @@ func main() {
 		fmt.Printf("assignment written to %s\n", *outPath)
 	}
 	if *timeline != "" {
-		if err := writeWalkTimeline(*timeline, g, a); err != nil {
+		if err := writeWalkTimeline(*timeline, g, a, tel); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("BSP timeline written to %s\n", *timeline)
 	}
 }
 
+// telemetryState bundles the optional tracer, metrics registry and
+// diagnostics listener for the run.
+type telemetryState struct {
+	tracer    bpart.Tracer
+	reg       *bpart.Metrics
+	jsonl     *bpart.JSONLTracer
+	traceFile *os.File
+	metrics   bool
+}
+
+// setupTelemetry wires -trace, -metrics and -pprof. The registry exists
+// whenever any of the three is requested, so the pprof endpoint and the
+// exit dump see the same counters.
+func setupTelemetry(tracePath string, metrics bool, pprofAddr string) (*telemetryState, error) {
+	t := &telemetryState{metrics: metrics}
+	if tracePath != "" || metrics || pprofAddr != "" {
+		t.reg = bpart.NewMetrics()
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		t.traceFile = f
+		t.jsonl = bpart.NewJSONLTrace(f)
+		t.tracer = t.jsonl
+	}
+	if pprofAddr != "" {
+		ln := pprofAddr
+		go func() {
+			if err := http.ListenAndServe(ln, bpart.DebugMux(t.reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "bpart: pprof listener:", err)
+			}
+		}()
+		fmt.Printf("diagnostics on http://%s/debug/pprof/ (also /metrics, /debug/vars)\n", ln)
+	}
+	return t, nil
+}
+
+// finish flushes the trace file and prints the metrics dump.
+func (t *telemetryState) finish() {
+	if t.jsonl != nil {
+		if err := t.jsonl.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bpart: trace flush:", err)
+		}
+		t.traceFile.Close()
+	}
+	if t.metrics && t.reg != nil {
+		fmt.Println("--- metrics ---")
+		if err := t.reg.WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bpart: metrics dump:", err)
+		}
+	}
+}
+
 // writeWalkTimeline runs the paper's 5|V|-walker, 4-step workload on the
 // placement and dumps the per-machine, per-iteration timing as CSV.
-func writeWalkTimeline(path string, g *bpart.Graph, a *bpart.Assignment) error {
+func writeWalkTimeline(path string, g *bpart.Graph, a *bpart.Assignment, tel *telemetryState) error {
 	eng, err := bpart.NewWalkEngine(g, a, bpart.DefaultCostModel())
 	if err != nil {
 		return err
 	}
+	bpart.Instrument(eng, tel.tracer, tel.reg)
 	res, err := eng.Run(bpart.WalkConfig{Kind: bpart.SimpleWalk, WalkersPerVertex: 5, Steps: 4, Seed: 1})
 	if err != nil {
 		return err
@@ -156,9 +234,14 @@ func loadGraph(path, datasetID string, scale float64) (*bpart.Graph, error) {
 	}
 }
 
-func run(g *bpart.Graph, scheme string, k int) (bpart.Report, time.Duration, error) {
+func run(g *bpart.Graph, scheme string, k int, tel *telemetryState) (bpart.Report, time.Duration, error) {
+	p, err := bpart.NewScheme(scheme)
+	if err != nil {
+		return bpart.Report{}, 0, err
+	}
+	bpart.Instrument(p, tel.tracer, tel.reg)
 	start := time.Now()
-	a, err := bpart.Partition(g, scheme, k)
+	a, err := p.Partition(g, k)
 	if err != nil {
 		return bpart.Report{}, 0, err
 	}

@@ -2,17 +2,41 @@
 // Components under Chunk-V, Hash and BPart placements and reports per-
 // machine compute balance and simulated running time (Figs 14/15 for the
 // iteration-based applications).
+//
+// With -trace out.jsonl the engines stream telemetry: one run-level span
+// per algorithm (engine.pagerank, engine.cc) and one cluster.superstep
+// record per BSP iteration carrying the per-machine IterationStats.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	"bpart"
 )
 
 func main() {
+	tracePath := flag.String("trace", "", "write a JSONL telemetry trace to this file")
+	flag.Parse()
+
+	tracer := bpart.NopTrace()
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jl := bpart.NewJSONLTrace(f)
+		tracer = jl
+		defer func() {
+			jl.Close()
+			f.Close()
+		}()
+	}
+	reg := bpart.NewMetrics()
+
 	g, err := bpart.Preset(bpart.LJSim, 0.2)
 	if err != nil {
 		log.Fatal(err)
@@ -29,6 +53,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		bpart.Instrument(eng, tracer, reg)
 		pr, err := eng.PageRank(10, 0.85)
 		if err != nil {
 			log.Fatal(err)

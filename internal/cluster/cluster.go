@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"bpart/internal/telemetry"
 )
 
 // CostModel holds unit costs in microseconds. Only ratios matter for the
@@ -65,6 +67,10 @@ type Cluster struct {
 	numMachines int
 	owner       []int // vertex -> machine
 	model       CostModel
+
+	tr   telemetry.Tracer
+	reg  *telemetry.Registry
+	iter int // supersteps finished, for span numbering
 }
 
 // New builds a cluster of k machines owning vertices per assignment.
@@ -87,7 +93,21 @@ func New(assignment []int, k int, model CostModel) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: vertex %d owned by machine %d, want [0,%d)", v, p, k)
 		}
 	}
-	return &Cluster{numMachines: k, owner: assignment, model: model}, nil
+	// Copy the assignment: the caller keeps its slice, and a later
+	// mutation of it must not silently re-home vertices mid-run.
+	owner := append([]int(nil), assignment...)
+	return &Cluster{numMachines: k, owner: owner, model: model, tr: telemetry.Nop()}, nil
+}
+
+// SetTelemetry implements telemetry.Instrumentable: with a tracer attached
+// (may be nil to detach), every FinishIteration emits one
+// "cluster.superstep" event carrying the full IterationStats — per-machine
+// compute, comm and waiting plus the raw work counters — so a whole run
+// yields a machine-level timeline. reg (may be nil) accumulates
+// cluster_* totals.
+func (c *Cluster) SetTelemetry(tr telemetry.Tracer, reg *telemetry.Registry) {
+	c.tr = telemetry.Safe(tr)
+	c.reg = reg
 }
 
 // NumMachines returns the machine count.
@@ -178,13 +198,50 @@ func (c *Cluster) FinishIteration(w *Counters) IterationStats {
 			}
 			st.Waiting[i] = phase - busy
 		}
-		return st
+	} else {
+		st.Time = maxCompute + maxComm + m.Latency
+		for i := 0; i < k; i++ {
+			st.Waiting[i] = (maxCompute - st.Compute[i]) + (maxComm - st.Comm[i])
+		}
 	}
-	st.Time = maxCompute + maxComm + m.Latency
-	for i := 0; i < k; i++ {
-		st.Waiting[i] = (maxCompute - st.Compute[i]) + (maxComm - st.Comm[i])
-	}
+	c.observe(&st)
 	return st
+}
+
+// observe publishes one finished superstep to the attached telemetry. The
+// emitted record carries the IterationStats verbatim: per-machine compute,
+// comm and waiting (simulated µs) plus the raw work counters.
+func (c *Cluster) observe(st *IterationStats) {
+	iter := c.iter
+	c.iter++
+	if c.reg != nil {
+		var msgs int64
+		for _, x := range st.Work.Messages {
+			msgs += x
+		}
+		c.reg.Counter("cluster_supersteps_total").Inc()
+		c.reg.Counter("cluster_messages_total").Add(msgs)
+		c.reg.Counter("cluster_sim_time_us_total").Add(int64(st.Time))
+	}
+	if c.tr != nil && c.tr.Enabled() {
+		var waiting float64
+		for _, x := range st.Waiting {
+			waiting += x
+		}
+		c.tr.Event("cluster.superstep",
+			telemetry.Int("iteration", iter),
+			telemetry.Int("machines", c.numMachines),
+			telemetry.Float("time_us", st.Time),
+			telemetry.Float("waiting_us_total", waiting),
+			telemetry.Any("compute", st.Compute),
+			telemetry.Any("comm", st.Comm),
+			telemetry.Any("waiting", st.Waiting),
+			telemetry.Any("steps", st.Work.Steps),
+			telemetry.Any("edges", st.Work.Edges),
+			telemetry.Any("vertices", st.Work.Vertices),
+			telemetry.Any("messages", st.Work.Messages),
+		)
+	}
 }
 
 // RunStats aggregates a whole computation.
@@ -223,6 +280,11 @@ func (r *RunStats) WaitRatio() float64 {
 		return 0
 	}
 	k := len(r.Iterations[0].Compute)
+	if k == 0 {
+		// A degenerate run (zero machines in the first iteration) has no
+		// capacity to waste.
+		return 0
+	}
 	total := r.TotalTime() * float64(k)
 	if total == 0 {
 		return 0

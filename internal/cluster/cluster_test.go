@@ -1,11 +1,14 @@
 package cluster
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+
+	"bpart/internal/telemetry"
 )
 
 func mustNew(t *testing.T, assignment []int, k int) *Cluster {
@@ -260,5 +263,178 @@ func TestQuickTimingInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression: New must copy the assignment slice. Before the fix it stored
+// the caller's slice, so mutating it silently re-homed vertices.
+func TestNewCopiesAssignment(t *testing.T) {
+	assignment := []int{0, 1, 1}
+	c := mustNew(t, assignment, 2)
+	assignment[2] = 0
+	if got := c.Owner(2); got != 1 {
+		t.Fatalf("Owner(2) = %d after caller mutated its slice, want 1", got)
+	}
+}
+
+// Degenerate runs: zero machines in the first iteration, zero-time runs.
+func TestRunStatsDegenerate(t *testing.T) {
+	// First iteration has zero machines: WaitRatio must not divide by the
+	// machine count of a non-existent fleet.
+	zeroMachines := RunStats{Iterations: []IterationStats{{}}}
+	if got := zeroMachines.WaitRatio(); got != 0 {
+		t.Fatalf("WaitRatio with zero machines = %v, want 0", got)
+	}
+	if got := zeroMachines.TotalMessages(); got != 0 {
+		t.Fatalf("TotalMessages with zero machines = %d, want 0", got)
+	}
+	if got := zeroMachines.ComputeByMachine(); len(got) != 0 {
+		t.Fatalf("ComputeByMachine with zero machines = %v, want empty", got)
+	}
+
+	// All-zero work: total time is zero (zero latency), ratio must be 0,
+	// not NaN.
+	c, err := New([]int{0, 1}, 2, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run RunStats
+	run.Add(c.FinishIteration(c.NewCounters()))
+	if got := run.WaitRatio(); got != 0 || math.IsNaN(got) {
+		t.Fatalf("WaitRatio of zero-cost run = %v, want 0", got)
+	}
+	if got := run.TotalMessages(); got != 0 {
+		t.Fatalf("TotalMessages = %d, want 0", got)
+	}
+	if got := run.ComputeByMachine(); len(got) != 2 || got[0] != 0 || got[1] != 0 {
+		t.Fatalf("ComputeByMachine = %v, want [0 0]", got)
+	}
+}
+
+// Golden round-trip: exact CSV bytes for a two-machine, two-iteration run.
+func TestWriteTimelineGolden(t *testing.T) {
+	model := CostModel{StepCost: 1, MessageCost: 2, Latency: 10}
+	c, err := New([]int{0, 1}, 2, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run RunStats
+	w := c.NewCounters()
+	w.Steps[0], w.Steps[1] = 3, 1
+	w.Messages[1] = 2
+	run.Add(c.FinishIteration(w))
+	w = c.NewCounters()
+	w.Edges[0] = 4
+	run.Add(c.FinishIteration(w))
+
+	var buf strings.Builder
+	if err := run.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "iteration,machine,compute,comm,waiting,steps,edges,messages\n" +
+		"0,0,3.000,0.000,4.000,3,0,0\n" +
+		"0,1,1.000,4.000,2.000,1,0,2\n" +
+		"1,0,0.000,0.000,0.000,0,4,0\n" +
+		"1,1,0.000,0.000,0.000,0,0,0\n"
+	if buf.String() != want {
+		t.Fatalf("timeline CSV:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// failAfter errors once n bytes have been written.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		allowed := f.n - f.written
+		if allowed < 0 {
+			allowed = 0
+		}
+		f.written += allowed
+		return allowed, errShortWrite
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+var errShortWrite = errors.New("writer full")
+
+func TestWriteTimelineWriterError(t *testing.T) {
+	c := mustNew(t, []int{0, 1}, 2)
+	var run RunStats
+	for i := 0; i < 2000; i++ {
+		w := c.NewCounters()
+		w.Steps[0] = int64(i)
+		run.Add(c.FinishIteration(w))
+	}
+	// Fail at several depths: inside the header, inside the rows, and at
+	// the final flush.
+	for _, limit := range []int{4, 100, 60000} {
+		if err := run.WriteTimeline(&failAfter{n: limit}); !errors.Is(err, errShortWrite) {
+			t.Fatalf("limit %d: error = %v, want errShortWrite", limit, err)
+		}
+	}
+}
+
+// Telemetry: every finished superstep emits one cluster.superstep record
+// mirroring the IterationStats, and counters accumulate.
+func TestSuperstepTelemetry(t *testing.T) {
+	model := CostModel{StepCost: 1, MessageCost: 2, Latency: 10}
+	c, err := New([]int{0, 1}, 2, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := telemetry.NewMemory()
+	reg := telemetry.NewRegistry()
+	c.SetTelemetry(tr, reg)
+
+	w := c.NewCounters()
+	w.Steps[0], w.Steps[1] = 3, 1
+	w.Messages[1] = 2
+	st := c.FinishIteration(w)
+	w = c.NewCounters()
+	c.FinishIteration(w)
+
+	recs := tr.Find("cluster.superstep")
+	if len(recs) != 2 {
+		t.Fatalf("got %d superstep records, want 2", len(recs))
+	}
+	first := recs[0]
+	if got := first.Attr("iteration"); got != int64(0) {
+		t.Fatalf("iteration attr = %v, want 0", got)
+	}
+	if got := first.Attr("time_us"); got != st.Time {
+		t.Fatalf("time_us attr = %v, want %v", got, st.Time)
+	}
+	comp, ok := first.Attr("compute").([]float64)
+	if !ok || len(comp) != 2 || comp[0] != st.Compute[0] || comp[1] != st.Compute[1] {
+		t.Fatalf("compute attr = %v, want %v", first.Attr("compute"), st.Compute)
+	}
+	msgs, ok := first.Attr("messages").([]int64)
+	if !ok || msgs[1] != 2 {
+		t.Fatalf("messages attr = %v", first.Attr("messages"))
+	}
+	if got := recs[1].Attr("iteration"); got != int64(1) {
+		t.Fatalf("second iteration attr = %v, want 1", got)
+	}
+
+	if got := reg.Counter("cluster_supersteps_total").Value(); got != 2 {
+		t.Fatalf("supersteps counter = %d, want 2", got)
+	}
+	if got := reg.Counter("cluster_messages_total").Value(); got != 2 {
+		t.Fatalf("messages counter = %d, want 2", got)
+	}
+	if got := reg.Counter("cluster_sim_time_us_total").Value(); got == 0 {
+		t.Fatal("sim time counter is zero")
+	}
+
+	// Detaching restores the no-op path.
+	c.SetTelemetry(nil, nil)
+	c.FinishIteration(c.NewCounters())
+	if got := len(tr.Find("cluster.superstep")); got != 2 {
+		t.Fatalf("detached cluster still recorded: %d records", got)
 	}
 }

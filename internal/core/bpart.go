@@ -25,6 +25,7 @@ import (
 
 	"bpart/internal/graph"
 	"bpart/internal/partition"
+	"bpart/internal/telemetry"
 )
 
 // Config holds BPart's tuning knobs. The zero value selects the paper's
@@ -87,9 +88,11 @@ func Default() Config {
 }
 
 // BPart is the two-dimensional balanced partitioner. It implements
-// partition.Partitioner.
+// partition.Partitioner and telemetry.Instrumentable.
 type BPart struct {
 	cfg Config
+	tr  telemetry.Tracer
+	reg *telemetry.Registry
 }
 
 // New returns a BPart with the given configuration. An all-zero Config
@@ -98,7 +101,16 @@ func New(cfg Config) (*BPart, error) {
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
 	}
-	return &BPart{cfg: cfg}, nil
+	return &BPart{cfg: cfg, tr: telemetry.Nop()}, nil
+}
+
+// SetTelemetry implements telemetry.Instrumentable: tr (may be nil)
+// receives one span per Partition call, per combining layer and per refine
+// pass; reg (may be nil) accumulates bpart_* counters and the streaming
+// engine's stream_* counters.
+func (b *BPart) SetTelemetry(tr telemetry.Tracer, reg *telemetry.Registry) {
+	b.tr = telemetry.Safe(tr)
+	b.reg = reg
 }
 
 // Name implements partition.Partitioner.
@@ -156,6 +168,11 @@ func (b *BPart) PartitionWithTrace(g *graph.Graph, k int) (*partition.Assignment
 	targetV := float64(n) / float64(k)
 	targetE := float64(g.NumEdges()) / float64(k)
 	trace := &Trace{}
+	tr := telemetry.Safe(b.tr)
+	runSpan := tr.Span("bpart.partition",
+		telemetry.Int("k", k),
+		telemetry.Int("vertices", n),
+		telemetry.Int("edges", g.NumEdges()))
 	// Undirected affinity (Fennel's N(v)) needs the reversed adjacency;
 	// build it once and reuse it across every layer's stream.
 	in := g.Transpose()
@@ -188,6 +205,12 @@ func (b *BPart) PartitionWithTrace(g *graph.Graph, k int) (*partition.Assignment
 		for _, v := range remaining {
 			ms += g.OutDegree(v)
 		}
+		layerSpan := tr.Span("bpart.layer",
+			telemetry.Int("layer", layer),
+			telemetry.Int("pieces", pieces),
+			telemetry.Int("oversplit", pieces/nr),
+			telemetry.Int("remaining_vertices", len(remaining)),
+			telemetry.Int("parts_wanted", nr))
 		res, err := partition.Stream(g, partition.StreamOptions{
 			K:        pieces,
 			C:        b.cfg.C,
@@ -198,8 +221,12 @@ func (b *BPart) PartitionWithTrace(g *graph.Graph, k int) (*partition.Assignment
 			CapV:     int(slack*float64(len(remaining))/float64(pieces)) + 1,
 			CapE:     int(slack*float64(ms)/float64(pieces)) + 1,
 			In:       in,
+			Tracer:   b.tr,
+			Metrics:  b.reg,
 		})
 		if err != nil {
+			layerSpan.End(telemetry.String("error", err.Error()))
+			runSpan.End(telemetry.String("error", err.Error()))
 			return nil, nil, fmt.Errorf("core: layer %d stream: %w", layer, err)
 		}
 		lt := LayerTrace{
@@ -260,16 +287,48 @@ func (b *BPart) PartitionWithTrace(g *graph.Graph, k int) (*partition.Assignment
 		lt.RemainingNr = nr
 		trace.Layers = append(trace.Layers, lt)
 		remaining = nextRemaining
+		// Residual bias of this layer's combined groups against the
+		// global per-part means: the quantity that decides which groups
+		// froze (Fig 9's convergence criterion).
+		vBias, eBias := residualBias(lt.CombinedV, lt.CombinedE, targetV, targetE)
+		layerSpan.End(
+			telemetry.Int("pieces_frozen", pieces-pieceCount(nextRemainingGroups)),
+			telemetry.Int("groups_frozen", lt.Finalized),
+			telemetry.Int("parts_remaining", nr),
+			telemetry.Float("residual_v_bias", vBias),
+			telemetry.Float("residual_e_bias", eBias))
+		if b.reg != nil {
+			b.reg.Counter("bpart_layers_total").Inc()
+			b.reg.Counter("bpart_groups_frozen_total").Add(int64(lt.Finalized))
+			b.reg.Gauge("bpart_last_residual_v_bias").Set(vBias)
+			b.reg.Gauge("bpart_last_residual_e_bias").Set(eBias)
+		}
 	}
 	if nextFinal != k {
+		runSpan.End(telemetry.String("error", "part count mismatch"))
 		return nil, nil, fmt.Errorf("core: produced %d parts, want %d", nextFinal, k)
 	}
+	var moves refineMoves
 	if !b.cfg.DisableRefine {
-		rebalance(g, final, k, b.cfg.Epsilon)
+		refineSpan := tr.Span("bpart.refine", telemetry.Int("k", k))
+		moves = rebalance(g, final, k, b.cfg.Epsilon)
+		refineSpan.End(
+			telemetry.Int("shed_moves", moves.Shed),
+			telemetry.Int("pull_moves", moves.Pulled))
+		if b.reg != nil {
+			b.reg.Counter("bpart_refine_moves_total").Add(int64(moves.Shed + moves.Pulled))
+		}
 	}
 	a := &partition.Assignment{Parts: final, K: k}
 	if err := a.Validate(g); err != nil {
+		runSpan.End(telemetry.String("error", err.Error()))
 		return nil, nil, fmt.Errorf("core: internal error: %w", err)
+	}
+	runSpan.End(
+		telemetry.Int("layers", len(trace.Layers)),
+		telemetry.Int("refine_moves", moves.Shed+moves.Pulled))
+	if b.reg != nil {
+		b.reg.Counter("bpart_partitions_total").Inc()
 	}
 	return a, trace, nil
 }
@@ -278,6 +337,33 @@ func (b *BPart) PartitionWithTrace(g *graph.Graph, k int) (*partition.Assignment
 type group struct {
 	v, e   int
 	pieces []int
+}
+
+// pieceCount sums the streamed pieces held by the groups.
+func pieceCount(groups []group) int {
+	total := 0
+	for _, g := range groups {
+		total += len(g.pieces)
+	}
+	return total
+}
+
+// residualBias returns the worst per-group deviation from the global
+// per-part |V| and |E| targets, as a fraction of the target.
+func residualBias(vs, es []int, targetV, targetE float64) (vBias, eBias float64) {
+	for _, v := range vs {
+		if d := math.Abs(float64(v)-targetV) / targetV; d > vBias {
+			vBias = d
+		}
+	}
+	if targetE > 0 {
+		for _, e := range es {
+			if d := math.Abs(float64(e)-targetE) / targetE; d > eBias {
+				eBias = d
+			}
+		}
+	}
+	return vBias, eBias
 }
 
 // combineRound sorts groups by vertex count and merges the lightest with

@@ -6,11 +6,19 @@ import (
 	"bpart/internal/graph"
 )
 
+// refineMoves counts what the refinement pass did, for telemetry: Shed is
+// phase 1 (moving vertices out of over-threshold parts), Pulled is phase 2
+// (filling under-threshold parts).
+type refineMoves struct {
+	Shed   int
+	Pulled int
+}
+
 // rebalance is the final repair pass of BPart (an addition over the paper,
 // see Config.DisableRefine). It greedily moves vertices out of parts whose
 // |V_i| or |E_i| exceeds (1+ε) of the per-part mean into parts with
 // headroom, until no part is over the threshold or no further move is
-// possible.
+// possible. It returns the number of moves made by each phase.
 //
 // Move selection: to shed edge mass, move the highest-degree vertex that
 // fits the receiver's edge headroom; to shed vertex count, move the
@@ -18,10 +26,11 @@ import (
 // lightest in the violated dimension that stays within (1+ε) in both
 // dimensions after the move, so a move never creates a new violation and
 // the total overage strictly decreases — the loop terminates.
-func rebalance(g *graph.Graph, parts []int, k int, eps float64) {
+func rebalance(g *graph.Graph, parts []int, k int, eps float64) refineMoves {
+	var done refineMoves
 	n := g.NumVertices()
 	if n == 0 || k <= 1 {
-		return
+		return done
 	}
 	targetV := float64(n) / float64(k)
 	targetE := float64(g.NumEdges()) / float64(k)
@@ -84,6 +93,7 @@ func rebalance(g *graph.Graph, parts []int, k int, eps float64) {
 			stuck[worst] = true
 			continue
 		}
+		done.Shed++
 		// A successful move may unstick other parts (their receivers
 		// gained headroom indirectly); re-examine everything.
 		for p := range stuck {
@@ -118,16 +128,18 @@ func rebalance(g *graph.Graph, parts []int, k int, eps float64) {
 			}
 		}
 		if worst == -1 {
-			return
+			return done
 		}
 		if !pullOne(g, parts, worst, worstDim, vCount, eCount, members, capV, capE, floorV, floorE) {
 			stuck[worst] = true
 			continue
 		}
+		done.Pulled++
 		for p := range stuck {
 			stuck[p] = false
 		}
 	}
+	return done
 }
 
 // pullOne moves a single vertex from the heaviest suitable donor into the

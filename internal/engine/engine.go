@@ -18,6 +18,7 @@ import (
 
 	"bpart/internal/cluster"
 	"bpart/internal/graph"
+	"bpart/internal/telemetry"
 )
 
 // Engine binds a graph, a placement and a cost model.
@@ -25,6 +26,7 @@ type Engine struct {
 	g     *graph.Graph
 	cl    *cluster.Cluster
 	owned [][]graph.VertexID // vertices per machine
+	tel   telemetry.Tracer   // run-level spans; supersteps come from cl
 
 	trMu sync.Mutex
 	tr   *graph.Graph // transpose, built on demand (CC uses both directions)
@@ -47,11 +49,20 @@ func New(g *graph.Graph, assignment []int, machines int, model cluster.CostModel
 		m := assignment[v]
 		owned[m] = append(owned[m], graph.VertexID(v))
 	}
-	return &Engine{g: g, cl: cl, owned: owned}, nil
+	return &Engine{g: g, cl: cl, owned: owned, tel: telemetry.Nop()}, nil
 }
 
 // Cluster exposes the underlying simulated cluster.
 func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
+
+// SetTelemetry implements telemetry.Instrumentable: the tracer receives one
+// run-level span per algorithm invocation and — via the underlying cluster
+// — one "cluster.superstep" record per BSP iteration carrying the
+// IterationStats.
+func (e *Engine) SetTelemetry(tr telemetry.Tracer, reg *telemetry.Registry) {
+	e.tel = telemetry.Safe(tr)
+	e.cl.SetTelemetry(tr, reg)
+}
 
 func (e *Engine) transpose() *graph.Graph {
 	e.trMu.Lock()
@@ -120,6 +131,10 @@ func (e *Engine) pageRankPush(iters int, damping, tol float64) (*PRResult, error
 	}
 	dangling := make([]float64, k)
 
+	sp := e.tel.Span("engine.pagerank",
+		telemetry.Int("max_iters", iters),
+		telemetry.Float("damping", damping),
+		telemetry.Float("tol", tol))
 	res := &PRResult{}
 	deltas := make([]float64, k)
 	for it := 0; it < iters; it++ {
@@ -185,6 +200,11 @@ func (e *Engine) pageRankPush(iters int, damping, tol float64) (*PRResult, error
 		}
 	}
 	res.Ranks = ranks
+	sp.End(
+		telemetry.Int("iterations", len(res.Stats.Iterations)),
+		telemetry.Float("delta", res.Delta),
+		telemetry.Float("sim_time_us", res.Stats.TotalTime()),
+		telemetry.Int64("messages", res.Stats.TotalMessages()))
 	return res, nil
 }
 
@@ -212,6 +232,7 @@ func (e *Engine) ConnectedComponents(maxIters int) (*CCResult, error) {
 	for m := range bufs {
 		bufs[m] = make([]uint32, n)
 	}
+	sp := e.tel.Span("engine.cc", telemetry.Int("max_iters", maxIters))
 	res := &CCResult{}
 	for it := 0; maxIters <= 0 || it < maxIters; it++ {
 		w := e.cl.NewCounters()
@@ -278,6 +299,10 @@ func (e *Engine) ConnectedComponents(maxIters int) (*CCResult, error) {
 		seen[l] = struct{}{}
 	}
 	res.Components = len(seen)
+	sp.End(
+		telemetry.Int("iterations", len(res.Stats.Iterations)),
+		telemetry.Int("components", res.Components),
+		telemetry.Float("sim_time_us", res.Stats.TotalTime()))
 	return res, nil
 }
 
@@ -302,6 +327,7 @@ func (e *Engine) BFS(source graph.VertexID) (*BFSResult, error) {
 	dist[source] = 0
 	frontier := []graph.VertexID{source}
 	discovered := make([][]graph.VertexID, k)
+	sp := e.tel.Span("engine.bfs", telemetry.Int("source", int(source)))
 	res := &BFSResult{}
 	for depth := int32(1); len(frontier) > 0; depth++ {
 		w := e.cl.NewCounters()
@@ -349,6 +375,10 @@ func (e *Engine) BFS(source graph.VertexID) (*BFSResult, error) {
 			res.Reached++
 		}
 	}
+	sp.End(
+		telemetry.Int("iterations", len(res.Stats.Iterations)),
+		telemetry.Int("reached", res.Reached),
+		telemetry.Float("sim_time_us", res.Stats.TotalTime()))
 	return res, nil
 }
 

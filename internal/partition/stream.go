@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"bpart/internal/graph"
+	"bpart/internal/telemetry"
 )
 
 // StreamOptions configures the weighted greedy streaming engine shared by
@@ -46,6 +47,55 @@ type StreamOptions struct {
 	// undirected N(v). Without it only out-neighbors count, which halves
 	// the clustering signal on directed graphs.
 	In *graph.Graph
+	// Tracer, when non-nil, receives one "partition.stream" span per call
+	// carrying the StreamStats. Per-vertex work stays uninstrumented;
+	// stats accumulate in locals and publish once at the end.
+	Tracer telemetry.Tracer
+	// Metrics, when non-nil, accumulates the StreamStats into
+	// stream_*_total counters across calls.
+	Metrics *telemetry.Registry
+}
+
+// StreamStats counts what the streaming loop did — the introspection knobs
+// for tuning caps and slack: how often each capacity dimension rejected the
+// greedy choice, how often ties were broken by load, and how often every
+// part was full and the lightest-part fallback fired.
+type StreamStats struct {
+	// Placed is the number of vertices assigned (= len of the stream set).
+	Placed int64
+	// CapWSkips counts part candidacies rejected by the W_i slack cap.
+	CapWSkips int64
+	// CapVSkips counts part candidacies rejected by the hard |V_i| cap.
+	CapVSkips int64
+	// CapESkips counts part candidacies rejected by the hard |E_i| cap.
+	CapESkips int64
+	// TieBreaks counts score ties resolved by picking the lighter part.
+	TieBreaks int64
+	// Fallbacks counts vertices placed by the all-parts-full fallback.
+	Fallbacks int64
+}
+
+// publish pushes the stats to registry counters and, when a span was
+// opened for this stream, closes it with the stats as attributes.
+func (s *StreamStats) publish(opt *StreamOptions, sp telemetry.Span) {
+	if reg := opt.Metrics; reg != nil {
+		reg.Counter("stream_placed_total").Add(s.Placed)
+		reg.Counter("stream_capw_skips_total").Add(s.CapWSkips)
+		reg.Counter("stream_capv_skips_total").Add(s.CapVSkips)
+		reg.Counter("stream_cape_skips_total").Add(s.CapESkips)
+		reg.Counter("stream_tie_breaks_total").Add(s.TieBreaks)
+		reg.Counter("stream_fallbacks_total").Add(s.Fallbacks)
+	}
+	if sp != nil {
+		sp.End(
+			telemetry.Int64("placed", s.Placed),
+			telemetry.Int64("capw_skips", s.CapWSkips),
+			telemetry.Int64("capv_skips", s.CapVSkips),
+			telemetry.Int64("cape_skips", s.CapESkips),
+			telemetry.Int64("tie_breaks", s.TieBreaks),
+			telemetry.Int64("fallbacks", s.Fallbacks),
+		)
+	}
 }
 
 // StreamResult is a partial assignment: Parts[v] is Unassigned for vertices
@@ -57,6 +107,8 @@ type StreamResult struct {
 	// (out-degree mass) over the streamed set.
 	VertexCount []int
 	EdgeCount   []int
+	// Stats counts cap hits, tie-breaks and fallbacks during the stream.
+	Stats StreamStats
 }
 
 // Stream runs the weighted greedy streaming partitioner over g.
@@ -121,6 +173,17 @@ func Stream(g *graph.Graph, opt StreamOptions) (*StreamResult, error) {
 		(opt.In.NumVertices() != g.NumVertices() || opt.In.NumEdges() != g.NumEdges()) {
 		return nil, fmt.Errorf("partition: In graph shape %v does not match %v", opt.In, g)
 	}
+	// Stats accumulate in plain locals — the inner loop pays a handful of
+	// integer increments whether or not telemetry is attached — and are
+	// published once per stream.
+	var capWSkips, capVSkips, capESkips, tieBreaks, fallbacks int64
+	var sp telemetry.Span
+	if opt.Tracer != nil && opt.Tracer.Enabled() {
+		sp = opt.Tracer.Span("partition.stream",
+			telemetry.Int("k", opt.K),
+			telemetry.Int("streamed", ns),
+			telemetry.Int("edges", ms))
+	}
 	for _, v := range stream {
 		for i := range affinity {
 			affinity[i] = 0
@@ -141,22 +204,29 @@ func Stream(g *graph.Graph, opt StreamOptions) (*StreamResult, error) {
 		best, bestScore := -1, math.Inf(-1)
 		for i := 0; i < opt.K; i++ {
 			if w[i] >= capW {
+				capWSkips++
 				continue
 			}
 			if opt.CapV > 0 && vCount[i]+1 > opt.CapV {
+				capVSkips++
 				continue
 			}
 			if opt.CapE > 0 && eCount[i]+d > opt.CapE {
+				capESkips++
 				continue
 			}
 			score := float64(affinity[i]) - alpha*opt.Gamma*gammaPow(w[i])
-			if score > bestScore || (score == bestScore && best >= 0 && w[i] < w[best]) {
+			if score > bestScore {
 				best, bestScore = i, score
+			} else if score == bestScore && best >= 0 && w[i] < w[best] {
+				best = i
+				tieBreaks++
 			}
 		}
 		if best == -1 {
 			// All parts at capacity (possible only through rounding):
 			// fall back to the lightest part.
+			fallbacks++
 			best = 0
 			for i := 1; i < opt.K; i++ {
 				if w[i] < w[best] {
@@ -169,7 +239,16 @@ func Stream(g *graph.Graph, opt StreamOptions) (*StreamResult, error) {
 		eCount[best] += d
 		w[best] += opt.C + (1-opt.C)*float64(d)/avgDeg
 	}
-	return &StreamResult{Parts: parts, K: opt.K, VertexCount: vCount, EdgeCount: eCount}, nil
+	stats := StreamStats{
+		Placed:    int64(ns),
+		CapWSkips: capWSkips,
+		CapVSkips: capVSkips,
+		CapESkips: capESkips,
+		TieBreaks: tieBreaks,
+		Fallbacks: fallbacks,
+	}
+	stats.publish(&opt, sp)
+	return &StreamResult{Parts: parts, K: opt.K, VertexCount: vCount, EdgeCount: eCount, Stats: stats}, nil
 }
 
 func fillUnassigned(n int) []int {

@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns an HTTP mux exposing the standard Go profiling surface
+// plus the registry's metrics:
+//
+//	/debug/pprof/...   CPU, heap, goroutine, block, mutex profiles
+//	/metrics           Prometheus text exposition of reg
+//	/debug/vars        expvar JSON including reg's snapshot under "bpart"
+//
+// The CLIs serve it behind --pprof addr; nothing is registered on the
+// process-global http.DefaultServeMux.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write([]byte(expvarJSON(reg)))
+	})
+	return mux
+}
+
+// MetricsHandler serves reg in the Prometheus text format.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+}
+
+// expvarJSON renders the process expvars plus reg's snapshot as one JSON
+// object, mirroring the stock /debug/vars handler without claiming the
+// global mux.
+func expvarJSON(reg *Registry) string {
+	v := expvar.Map{}
+	v.Init()
+	expvar.Do(func(kv expvar.KeyValue) { v.Set(kv.Key, kv.Value) })
+	if reg != nil {
+		v.Set("bpart", expvar.Func(func() any { return reg.Snapshot() }))
+	}
+	return v.String()
+}

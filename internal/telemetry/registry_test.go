@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("stream_placed_total")
+	c.Add(5)
+	c.Inc()
+	if got := c.Value(); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+	if reg.Counter("stream_placed_total") != c {
+		t.Fatal("Counter did not return the same instance")
+	}
+	g := reg.Gauge("residual_v_bias")
+	g.Set(0.07)
+	if got := g.Value(); got != 0.07 {
+		t.Fatalf("gauge = %v, want 0.07", got)
+	}
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	g := reg.Gauge("y")
+	g.Set(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge stored")
+	}
+	if reg.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry export: err=%v out=%q", err, buf.String())
+	}
+}
+
+func TestSnapshotExpvarCompatible(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total").Add(2)
+	reg.Gauge("b").Set(1.5)
+	snap := reg.Snapshot()
+	if snap["a_total"] != int64(2) || snap["b"] != 1.5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// The snapshot must be JSON-encodable, since expvar serves it as JSON.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-encodable: %v", err)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z_total").Add(7)
+	reg.Counter("a_total").Add(1)
+	reg.Gauge("m.gauge").Set(2.5) // '.' must be sanitized
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE a_total counter\n" +
+		"a_total 1\n" +
+		"# TYPE m_gauge gauge\n" +
+		"m_gauge 2.5\n" +
+		"# TYPE z_total counter\n" +
+		"z_total 7\n"
+	if buf.String() != want {
+		t.Fatalf("prometheus output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"ok_name":     "ok_name",
+		"dots.and-da": "dots_and_da",
+		"9lead":       "_lead",
+		"":            "_",
+		"μs":          "_s",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				reg.Counter("shared_total").Inc()
+				reg.Gauge("shared_gauge").Set(float64(j))
+				_ = reg.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared_total").Value(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total").Add(3)
+	mux := DebugMux(reg)
+
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "hits_total 3") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "hits_total") {
+		t.Fatalf("/debug/vars: code=%d body=%q", code, body)
+	} else if !json.Valid([]byte(body)) {
+		t.Fatalf("/debug/vars is not valid JSON: %q", body)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline: code=%d", code)
+	}
+}

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNopTracerZeroAlloc(t *testing.T) {
+	tr := Nop()
+	if tr.Enabled() {
+		t.Fatal("no-op tracer reports Enabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Span("phase")
+		sp.Annotate()
+		sp.End()
+		tr.Event("event")
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op tracer allocates %.1f per span+event, want 0", allocs)
+	}
+}
+
+func TestSafe(t *testing.T) {
+	if Safe(nil) == nil {
+		t.Fatal("Safe(nil) returned nil")
+	}
+	m := NewMemory()
+	if Safe(m) != Tracer(m) {
+		t.Fatal("Safe did not pass through a non-nil tracer")
+	}
+}
+
+func TestMemorySpansAndEvents(t *testing.T) {
+	m := NewMemory()
+	sp := m.Span("layer", Int("layer", 1))
+	sp.Annotate(Int("pieces", 16))
+	sp.End(Float("bias", 0.05))
+	m.Event("tick", String("why", "test"), Bool("ok", true))
+
+	recs := m.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	span := recs[0]
+	if !span.Span || span.Name != "layer" || span.Dur < 0 {
+		t.Fatalf("bad span record: %+v", span)
+	}
+	if got := span.Attr("layer"); got != int64(1) {
+		t.Fatalf("layer attr = %v (%T), want 1", got, got)
+	}
+	if got := span.Attr("pieces"); got != int64(16) {
+		t.Fatalf("pieces attr = %v, want 16", got)
+	}
+	if got := span.Attr("bias"); got != 0.05 {
+		t.Fatalf("bias attr = %v, want 0.05", got)
+	}
+	ev := recs[1]
+	if ev.Span || ev.Name != "tick" || ev.Attr("why") != "test" || ev.Attr("ok") != true {
+		t.Fatalf("bad event record: %+v", ev)
+	}
+	if ev.Attr("missing") != nil {
+		t.Fatal("missing attr should be nil")
+	}
+
+	if got := m.Find("layer"); len(got) != 1 {
+		t.Fatalf("Find(layer) = %d records, want 1", len(got))
+	}
+	m.Reset()
+	if len(m.Records()) != 0 {
+		t.Fatal("Reset left records behind")
+	}
+}
+
+func TestJSONLOutput(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONL(&buf)
+	sp := tr.Span("bpart.layer", Int("layer", 2), Any("pieceV", []int{3, 5}))
+	sp.End(Int("frozen", 4))
+	tr.Event("cap.hit", String("dim", "E"))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", sc.Text(), err)
+		}
+		lines = append(lines, obj)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	span := lines[0]
+	if span["type"] != "span" || span["name"] != "bpart.layer" {
+		t.Fatalf("bad span line: %v", span)
+	}
+	if _, ok := span["dur_us"].(float64); !ok {
+		t.Fatalf("span line missing dur_us: %v", span)
+	}
+	attrs := span["attrs"].(map[string]any)
+	if attrs["layer"] != 2.0 || attrs["frozen"] != 4.0 {
+		t.Fatalf("bad span attrs: %v", attrs)
+	}
+	if v, ok := attrs["pieceV"].([]any); !ok || len(v) != 2 {
+		t.Fatalf("Any slice attr not encoded: %v", attrs["pieceV"])
+	}
+	ev := lines[1]
+	if ev["type"] != "event" || ev["name"] != "cap.hit" {
+		t.Fatalf("bad event line: %v", ev)
+	}
+	if _, hasDur := ev["dur_us"]; hasDur {
+		t.Fatal("event line carries dur_us")
+	}
+}
+
+func TestJSONLUnencodableAttr(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONL(&buf)
+	tr.Event("bad", Any("fn", func() {})) // func is not JSON-encodable
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatalf("error line is not valid JSON: %v (%q)", err, buf.String())
+	}
+	if obj["type"] != "error" {
+		t.Fatalf("degraded line type = %v, want error", obj["type"])
+	}
+}
+
+func TestJSONLConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONL(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sp := tr.Span("work", Int("worker", i))
+				sp.End(Int("j", j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, l := range lines {
+		if !json.Valid([]byte(l)) {
+			t.Fatalf("interleaved write corrupted a line: %q", l)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"bpart/internal/cluster"
 	"bpart/internal/graph"
+	"bpart/internal/telemetry"
 	"bpart/internal/xrand"
 )
 
@@ -154,7 +155,8 @@ type Engine struct {
 	g     *graph.Graph
 	cl    *cluster.Cluster
 	owned [][]graph.VertexID
-	alias *aliasCache // per-vertex transition tables for BiasedWalk
+	alias *aliasCache      // per-vertex transition tables for BiasedWalk
+	tel   telemetry.Tracer // run-level spans; supersteps come from cl
 }
 
 // New builds a walk engine for g with the given vertex→machine assignment.
@@ -173,11 +175,20 @@ func New(g *graph.Graph, assignment []int, machines int, model cluster.CostModel
 	for v := 0; v < g.NumVertices(); v++ {
 		owned[assignment[v]] = append(owned[assignment[v]], graph.VertexID(v))
 	}
-	return &Engine{g: g, cl: cl, owned: owned, alias: newAliasCache(g)}, nil
+	return &Engine{g: g, cl: cl, owned: owned, alias: newAliasCache(g), tel: telemetry.Nop()}, nil
 }
 
 // Cluster exposes the underlying simulated cluster.
 func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
+
+// SetTelemetry implements telemetry.Instrumentable: the tracer receives one
+// "walk.run" span per Run and — via the underlying cluster — one
+// "cluster.superstep" record per BSP iteration, so a DeepWalk run produces
+// the full machine-level timeline of Figs 12/13.
+func (e *Engine) SetTelemetry(tr telemetry.Tracer, reg *telemetry.Registry) {
+	e.tel = telemetry.Safe(tr)
+	e.cl.SetTelemetry(tr, reg)
+}
 
 // walker is one active random walk.
 type walker struct {
@@ -260,6 +271,10 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 		outbox[m] = make([][]walker, k)
 	}
 
+	sp := e.tel.Span("walk.run",
+		telemetry.String("kind", cfg.Kind.String()),
+		telemetry.Int("walkers", totalWalkers),
+		telemetry.Int("steps", cfg.Steps))
 	res := &Result{Visits: visits, Traffic: make([][]int64, k)}
 	for m := range res.Traffic {
 		res.Traffic[m] = make([]int64, k)
@@ -357,6 +372,11 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 		}
 	}
 	res.Finished = int64(totalWalkers)
+	sp.End(
+		telemetry.Int("iterations", len(res.Stats.Iterations)),
+		telemetry.Int64("total_steps", res.TotalSteps),
+		telemetry.Int64("message_walks", res.MessageWalks),
+		telemetry.Float("sim_time_us", res.Stats.TotalTime()))
 	return res, nil
 }
 
