@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build lint test race bench
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+# lint mirrors the CI lint job exactly: formatting, go vet, then the
+# repo's own analyzer suite (see internal/analysis and README "Static
+# analysis").
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/bpartlint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .

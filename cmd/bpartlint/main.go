@@ -1,0 +1,157 @@
+// Command bpartlint runs the repo's static-analysis suite
+// (internal/analysis): norawrand, spanend, metricname, floateq, errio.
+//
+// Usage:
+//
+//	bpartlint [-list] [pattern ...]
+//
+// Patterns are package directories or "dir/..." trees; the default "./..."
+// lints the whole module. Diagnostics print as file:line:col: [analyzer]
+// message, one per line; the exit status is 1 when anything fires, 2 when
+// a package fails to load or type-check.
+//
+// The x/tools multichecker would normally provide `go vet -vettool`
+// integration; that path is gated until the dependency is available
+// offline (see internal/analysis), so CI and the Makefile invoke this
+// binary directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"bpart/internal/analysis"
+	"bpart/internal/analysis/suite"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bpartlint [-list] [pattern ...]\n\npatterns: package dirs or dir/... trees (default ./...)\n\nanalyzers:\n")
+		for _, a := range suite.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range suite.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+	os.Exit(Main(flag.Args(), os.Stdout, os.Stderr))
+}
+
+// Main lints the given patterns, printing diagnostics to out and load
+// failures to errOut, and returns the process exit code. It is the whole
+// CLI minus flag parsing, so the smoke test can run it in-process.
+func Main(patterns []string, out, errOut io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(errOut, "bpartlint:", err)
+		return 2
+	}
+	dirs, err := expand(patterns)
+	if err != nil {
+		fmt.Fprintln(errOut, "bpartlint:", err)
+		return 2
+	}
+
+	code := 0
+	var pkgs []*analysis.LoadedPackage
+	for _, dir := range dirs {
+		loaded, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintf(errOut, "bpartlint: %s: %v\n", dir, err)
+			code = 2
+			continue
+		}
+		for _, pkg := range loaded {
+			for _, cerr := range pkg.CheckErrs {
+				fmt.Fprintf(errOut, "bpartlint: %s: type error: %v\n", pkg.Path, cerr)
+				code = 2
+			}
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+	findings, err := analysis.Run(suite.Analyzers(), loader.Fset(), pkgs)
+	if err != nil {
+		fmt.Fprintln(errOut, "bpartlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintf(out, "%s: [%s] %s\n", relPos(f), f.Analyzer, f.Message)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+// relPos renders the finding position relative to the working directory
+// when possible.
+func relPos(f analysis.Finding) string {
+	wd, err := os.Getwd()
+	if err == nil {
+		if rel, rerr := filepath.Rel(wd, f.Pos.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
+			return fmt.Sprintf("%s:%d:%d", rel, f.Pos.Line, f.Pos.Column)
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d", f.Pos.Filename, f.Pos.Line, f.Pos.Column)
+}
+
+// expand resolves patterns to package directories. "dir/..." walks the
+// tree; anything else names one directory. testdata, vendor and dot-dirs
+// are pruned — fixtures under internal/analysis/testdata contain seeded
+// violations on purpose.
+func expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		root, walk := strings.CutSuffix(pat, "...")
+		root = filepath.Clean(strings.TrimSuffix(root, "/"))
+		if root == "" {
+			root = "."
+		}
+		if !walk {
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return fs.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(d.Name(), ".go") {
+				add(filepath.Dir(path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsLintClean is the acceptance gate: the suite must run over the
+// whole module without crashing and without diagnostics. It type-checks
+// every package (including the standard library, from source), so it is
+// the slowest test in the repo; -short skips it.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide type-check is slow")
+	}
+	var out, errOut bytes.Buffer
+	code := Main([]string{"../../..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("bpartlint exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unexpected diagnostics:\n%s", out.String())
+	}
+}
+
+// TestExpandSkipsFixtures guards the walker: testdata trees hold seeded
+// violations and must never leak into a ./... run.
+func TestExpandSkipsFixtures(t *testing.T) {
+	dirs, err := expand([]string{"../../internal/analysis/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no directories found")
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("expand leaked fixture dir %s", d)
+		}
+	}
+}

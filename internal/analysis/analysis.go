@@ -1,0 +1,154 @@
+// Package analysis is a self-contained, stdlib-only reimplementation of the
+// golang.org/x/tools/go/analysis core: an Analyzer runs over one
+// type-checked package and reports Diagnostics. The repo's reproducibility
+// invariants — seeded determinism, span hygiene, metric naming, epsilon
+// float comparisons, checked writer errors — live in the sibling analyzer
+// packages (norawrand, spanend, metricname, floateq, errio) and are driven
+// by cmd/bpartlint.
+//
+// The x/tools module is deliberately not vendored: the build environment is
+// offline, so the loader (loader.go) resolves module-local imports itself
+// and delegates the standard library to go/importer's source importer.
+// When x/tools becomes available the analyzers port mechanically — the
+// Analyzer/Pass/Diagnostic surface mirrors go/analysis on purpose.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+	"sync"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and ignore directives.
+	// It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph help text: first line is a summary.
+	Doc string
+	// Run executes the pass over one package, reporting findings via
+	// pass.Report. An error aborts the whole lint run (reserved for
+	// internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass carries one type-checked package to an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Path is the package's import path. Testdata fixtures get their
+	// module-relative path (".../testdata/floateq/core"), so analyzers
+	// that scope by path substring work unchanged under analysistest.
+	Path string
+	// Shared accumulates cross-package state within one Run, e.g. the
+	// repo-wide metric-name table maintained by metricname.
+	Shared *Shared
+
+	report func(Diagnostic)
+}
+
+// Report emits a finding.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// Reportf emits a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Shared is the cross-package blackboard for one lint run. Analyzers that
+// enforce repo-wide invariants stash their accumulation here keyed by
+// analyzer name; access is serialized so packages may be analyzed
+// concurrently later without changing the analyzers.
+type Shared struct {
+	mu   sync.Mutex
+	vals map[string]any
+}
+
+// NewShared returns an empty blackboard.
+func NewShared() *Shared { return &Shared{vals: map[string]any{}} }
+
+// Get returns the value stored under key, creating it with mk on first use.
+func (s *Shared) Get(key string, mk func() any) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.vals == nil {
+		s.vals = map[string]any{}
+	}
+	v, ok := s.vals[key]
+	if !ok {
+		v = mk()
+		s.vals[key] = v
+	}
+	return v
+}
+
+// ignoreDirective matches "bpartlint:ignore name1,name2 optional reason"
+// inside a comment. The directive suppresses the named analyzers on the
+// directive's line, or on the following line when the comment stands alone.
+var ignoreDirective = regexp.MustCompile(`bpartlint:ignore\s+([A-Za-z0-9_,]+)`)
+
+// ignoreIndex maps file line numbers to the set of analyzer names ignored
+// on that line.
+type ignoreIndex map[int]map[string]bool
+
+// buildIgnoreIndex scans a file's comments for bpartlint:ignore directives.
+func buildIgnoreIndex(fset *token.FileSet, f *ast.File) ignoreIndex {
+	var idx ignoreIndex
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := ignoreDirective.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			if idx == nil {
+				idx = ignoreIndex{}
+			}
+			line := fset.Position(c.Pos()).Line
+			names := map[string]bool{}
+			for _, n := range strings.Split(m[1], ",") {
+				names[strings.TrimSpace(n)] = true
+			}
+			// A standalone directive comment guards the next line; a
+			// trailing one guards its own. Registering both is harmless:
+			// directives never collide with real code on the same line.
+			for _, l := range []int{line, line + 1} {
+				if idx[l] == nil {
+					idx[l] = map[string]bool{}
+				}
+				for n := range names {
+					idx[l][n] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// Ignored reports whether a diagnostic from analyzer name at pos is
+// suppressed by a bpartlint:ignore directive.
+func (idx ignoreIndex) Ignored(fset *token.FileSet, name string, pos token.Pos) bool {
+	if idx == nil {
+		return false
+	}
+	names := idx[fset.Position(pos).Line]
+	return names != nil && (names[name] || names["all"])
+}

@@ -1,0 +1,16 @@
+package errio_test
+
+import (
+	"testing"
+
+	"bpart/internal/analysis/analysistest"
+	"bpart/internal/analysis/errio"
+)
+
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, "../testdata/errio/gio", errio.Analyzer)
+}
+
+func TestOutOfScopePackagesAreClean(t *testing.T) {
+	analysistest.Run(t, "../testdata/errio/other", errio.Analyzer)
+}

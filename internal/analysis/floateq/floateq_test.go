@@ -1,0 +1,16 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"bpart/internal/analysis/analysistest"
+	"bpart/internal/analysis/floateq"
+)
+
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, "../testdata/floateq/core", floateq.Analyzer)
+}
+
+func TestOutOfScopePackagesAreClean(t *testing.T) {
+	analysistest.Run(t, "../testdata/floateq/other", floateq.Analyzer)
+}

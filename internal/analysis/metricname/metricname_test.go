@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"bpart/internal/analysis/analysistest"
+	"bpart/internal/analysis/metricname"
+)
+
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, "../testdata/metricname/a", metricname.Analyzer)
+}

@@ -1,0 +1,16 @@
+package norawrand_test
+
+import (
+	"testing"
+
+	"bpart/internal/analysis/analysistest"
+	"bpart/internal/analysis/norawrand"
+)
+
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, "../testdata/norawrand/a", norawrand.Analyzer)
+}
+
+func TestXrandIsExempt(t *testing.T) {
+	analysistest.Run(t, "../testdata/norawrand/xrand", norawrand.Analyzer)
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is a resolved diagnostic ready for printing.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run executes every analyzer over every package, applies
+// bpartlint:ignore directives, and returns the surviving findings sorted
+// by position. Cross-package analyzers communicate through a fresh Shared
+// blackboard scoped to this call.
+func Run(analyzers []*Analyzer, fset *token.FileSet, pkgs []*LoadedPackage) ([]Finding, error) {
+	shared := NewShared()
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignores := make([]ignoreIndex, len(pkg.Files))
+		for i, f := range pkg.Files {
+			ignores[i] = buildIgnoreIndex(fset, f)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Path:      pkg.Path,
+				Shared:    shared,
+			}
+			pass.report = func(d Diagnostic) {
+				for i, f := range pkg.Files {
+					if d.Pos >= f.FileStart && d.Pos < f.FileEnd {
+						if ignores[i].Ignored(fset, d.Analyzer, d.Pos) {
+							return
+						}
+						break
+					}
+				}
+				findings = append(findings, Finding{
+					Analyzer: d.Analyzer,
+					Pos:      fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,233 @@
+// Package spanend checks that every telemetry span opened is also ended.
+//
+// Tracer.Span's contract (internal/telemetry) is "the returned Span must
+// be Ended exactly once": a leaked span never records its duration, so the
+// JSONL timeline silently loses the phase it was supposed to measure. The
+// pass finds every `x := tr.Span(...)` whose result type has an End
+// method, then demands either a `defer x.End()` or an `x.End()` lexically
+// before every return in the variable's scope.
+//
+// The return-path check is a lexical approximation, not a CFG: an End in
+// one branch satisfies returns that follow it. In exchange it has no false
+// positives on the repo's End-per-error-path style, and it still catches
+// the real leak class — an early return before any End exists at all.
+// Spans that escape (passed to a function, stored, returned) are assumed
+// ended by their new owner and skipped.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bpart/internal/analysis"
+)
+
+// Analyzer implements the pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc: "require every started telemetry span to be ended\n\n" +
+		"A span from Tracer.Span must reach End() on all return paths: either " +
+		"defer it or End it before each return. Leaked spans drop their phase " +
+		"from the trace timeline.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc analyzes one function body.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	parents := buildParents(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && isSpanStart(pass, call) {
+				pass.Reportf(call.Pos(), "span started and discarded: its End can never be called")
+			}
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i := range st.Rhs {
+				call, ok := st.Rhs[i].(*ast.CallExpr)
+				if !ok || !isSpanStart(pass, call) {
+					continue
+				}
+				id, ok := st.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(), "span discarded into _: its End can never be called")
+					continue
+				}
+				checkSpanVar(pass, fd, parents, id, call)
+			}
+		}
+		return true
+	})
+}
+
+// isSpanStart reports whether call is `<recv>.Span(...)` yielding a value
+// with an End method.
+func isSpanStart(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Span" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(tv.Type, true, pass.Pkg, "End")
+	_, isFunc := obj.(*types.Func)
+	return isFunc
+}
+
+type useKind int
+
+const (
+	useNeutral useKind = iota
+	useEnd
+	useDeferEnd
+	useEscape
+)
+
+// checkSpanVar verifies the span held in id reaches End.
+func checkSpanVar(pass *analysis.Pass, fd *ast.FuncDecl, parents map[ast.Node]ast.Node, id *ast.Ident, call *ast.CallExpr) {
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Parent() == nil || v.Parent() == pass.Pkg.Scope() {
+		return
+	}
+	start := call.End()
+
+	var hasDefer, escaped bool
+	var ends []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		use, ok := n.(*ast.Ident)
+		if !ok || use == id {
+			return true
+		}
+		if pass.TypesInfo.Uses[use] != v && pass.TypesInfo.Defs[use] != v {
+			return true
+		}
+		switch classifyUse(parents, use) {
+		case useEnd:
+			if use.Pos() > start {
+				ends = append(ends, use.Pos())
+			}
+		case useDeferEnd:
+			if use.Pos() > start {
+				hasDefer = true
+			}
+		case useEscape:
+			escaped = true
+		}
+		return true
+	})
+	if escaped || hasDefer {
+		return
+	}
+	if len(ends) == 0 {
+		pass.Reportf(call.Pos(), "span %q is never ended: defer %s.End() or End it on every path", id.Name, id.Name)
+		return
+	}
+	// Every return inside the variable's scope after the start needs an
+	// End lexically before it (returns belonging to nested closures run on
+	// someone else's clock and are skipped).
+	scope := v.Parent()
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() <= start || ret.Pos() >= scope.End() || inFuncLit(parents, ret) {
+			return true
+		}
+		ended := false
+		for _, e := range ends {
+			if e < ret.Pos() {
+				ended = true
+				break
+			}
+		}
+		if !ended {
+			pass.Reportf(ret.Pos(), "span %q (started at %s) is not ended on this return path", id.Name, pass.Fset.Position(call.Pos()))
+		}
+		return true
+	})
+}
+
+// classifyUse decides what one mention of the span variable does with it.
+func classifyUse(parents map[ast.Node]ast.Node, id *ast.Ident) useKind {
+	switch p := parents[id].(type) {
+	case *ast.SelectorExpr:
+		if p.X != ast.Expr(id) {
+			return useEscape
+		}
+		call, ok := parents[p].(*ast.CallExpr)
+		if !ok || call.Fun != ast.Expr(p) {
+			// Method value (sp.End passed around): treat as escape.
+			return useEscape
+		}
+		if p.Sel.Name != "End" {
+			return useNeutral // Annotate and friends keep ownership
+		}
+		if d, ok := parents[call].(*ast.DeferStmt); ok && d.Call == call {
+			return useDeferEnd
+		}
+		return useEnd
+	case *ast.BinaryExpr:
+		return useNeutral // nil checks
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if l == ast.Expr(id) {
+				return useNeutral // reassignment is a fresh start, checked separately
+			}
+		}
+		return useEscape
+	case *ast.ValueSpec:
+		return useNeutral
+	default:
+		return useEscape
+	}
+}
+
+// buildParents records each node's parent within root.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// inFuncLit reports whether n sits inside a function literal below the
+// analyzed function's body.
+func inFuncLit(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		if _, ok := p.(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"bpart/internal/analysis/analysistest"
+	"bpart/internal/analysis/spanend"
+)
+
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, "../testdata/spanend/a", spanend.Analyzer)
+}

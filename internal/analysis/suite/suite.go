@@ -1,0 +1,23 @@
+// Package suite enumerates the bpartlint analyzers in one place, so the
+// CLI and the repo-wide smoke test agree on what "the suite" is.
+package suite
+
+import (
+	"bpart/internal/analysis"
+	"bpart/internal/analysis/errio"
+	"bpart/internal/analysis/floateq"
+	"bpart/internal/analysis/metricname"
+	"bpart/internal/analysis/norawrand"
+	"bpart/internal/analysis/spanend"
+)
+
+// Analyzers returns the full bpartlint suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		errio.Analyzer,
+		floateq.Analyzer,
+		metricname.Analyzer,
+		norawrand.Analyzer,
+		spanend.Analyzer,
+	}
+}

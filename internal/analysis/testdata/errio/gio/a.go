@@ -1,0 +1,53 @@
+// Package gio seeds errio violations; its path ends in /gio so it is in
+// the analyzer's I/O scope, like bpart/internal/gio.
+package gio
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Sink is a fallible writer like a file or socket.
+type Sink struct{}
+
+// Write mimics io.Writer.
+func (*Sink) Write(p []byte) (int, error) { return len(p), nil }
+
+// WriteString mimics io.StringWriter.
+func (*Sink) WriteString(s string) (int, error) { return len(s), nil }
+
+// Flush mimics bufio.Writer.Flush.
+func (*Sink) Flush() error { return nil }
+
+// Stop returns no error; discarding its result is fine.
+func (*Sink) Stop() {}
+
+// Dump exercises the discard rules.
+func Dump(w *Sink, payload []byte) error {
+	w.Write(payload)          // want `error from Write discarded`
+	w.WriteString("header")   // want `error from WriteString discarded`
+	w.Flush()                 // want `error from Flush discarded`
+	defer w.Flush()           // want `error from Flush discarded by defer`
+	_, _ = w.Write(payload)   // want `error from Write blanked with _`
+	_ = w.Flush()             // want `error from Flush blanked with _`
+	fmt.Fprintf(w, "n=%d", 1) // want `error from Fprintf discarded`
+	w.Flush()                 //bpartlint:ignore errio waived deliberately for this fixture
+	w.Stop()                  // no error to lose
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// Exempt writes to sinks that cannot fail or cannot be helped.
+func Exempt(rw http.ResponseWriter) string {
+	var buf bytes.Buffer
+	buf.WriteString("in-memory buffers never fail")
+	var sb strings.Builder
+	sb.WriteString("neither do builders")
+	rw.Write([]byte("the client may be gone; nothing to do"))
+	fmt.Fprintf(rw, "same for Fprint* aimed at a ResponseWriter")
+	return buf.String() + sb.String()
+}

@@ -1,0 +1,13 @@
+// Package other is outside the I/O scope (not gio, telemetry or cluster):
+// stderr chatter and best-effort writes are tolerated here.
+package other
+
+import (
+	"fmt"
+	"os"
+)
+
+// Log writes best-effort and is not reported.
+func Log(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+}

@@ -1,0 +1,26 @@
+// Package core seeds floateq violations; its path ends in /core so it is
+// in the analyzer's balance-sensitive scope, like bpart/internal/core.
+package core
+
+// Compare exercises the comparison rules.
+func Compare(a, b float64, f32 float32, i, j int, done bool) bool {
+	if a == b { // want `floating-point == depends on rounding`
+		return true
+	}
+	if a != 0 { // want `floating-point != depends on rounding`
+		return false
+	}
+	if f32 == 1.5 { // want `floating-point == depends on rounding`
+		return true
+	}
+	if 1.0 == 2.0 { // constants fold exactly: no diagnostic
+		return true
+	}
+	if i == j || done == true { // integers and bools are not floats
+		return true
+	}
+	if a == b { //bpartlint:ignore floateq waived deliberately for this fixture
+		return true
+	}
+	return a < b // ordered comparisons are legitimate
+}

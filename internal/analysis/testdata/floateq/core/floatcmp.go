@@ -1,0 +1,7 @@
+// floatcmp.go is the designated helper file: raw comparisons here
+// implement the helpers and are exempt, mirroring
+// internal/metrics/floatcmp.go.
+package core
+
+// TieEq is the designated exact comparison.
+func TieEq(a, b float64) bool { return a == b }

@@ -1,0 +1,6 @@
+// Package other is outside the balance-sensitive scope (not core,
+// partition or metrics): raw float comparisons are tolerated here.
+package other
+
+// Eq compares exactly and is not reported.
+func Eq(a, b float64) bool { return a == b }

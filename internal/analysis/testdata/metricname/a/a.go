@@ -1,0 +1,40 @@
+// Package a seeds metricname violations against a miniature registry whose
+// method shapes match telemetry.Registry.
+package a
+
+// Counter mimics telemetry.Counter.
+type Counter struct{}
+
+// Inc increments.
+func (*Counter) Inc() {}
+
+// Gauge mimics telemetry.Gauge.
+type Gauge struct{}
+
+// Set records a value.
+func (*Gauge) Set(float64) {}
+
+// Registry mimics telemetry.Registry.
+type Registry struct{}
+
+// Counter returns the named counter.
+func (*Registry) Counter(name string) *Counter { return nil }
+
+// Gauge returns the named gauge.
+func (*Registry) Gauge(name string) *Gauge { return nil }
+
+const goodName = "layers_total"
+
+// Record exercises the naming rules.
+func Record(reg *Registry, dynamic string) {
+	reg.Counter("stream_placed_total").Inc()
+	reg.Counter(goodName).Inc() // constants are fine: still enumerable
+	reg.Gauge("residual_v_bias").Set(0)
+
+	reg.Counter(dynamic).Inc()               // want `metric name must be a compile-time string constant`
+	reg.Counter("Stream_Placed").Inc()       // want `not snake_case`
+	reg.Counter("stream-placed-total").Inc() // want `not snake_case`
+	reg.Counter("_leading_underscore").Inc() // want `not snake_case`
+	reg.Gauge("stream_placed_total").Set(0)  // want `metric "stream_placed_total" registered as gauge here but as counter`
+	reg.Counter("stream_placed_total").Inc() // fine: same name, same kind (get-or-create)
+}

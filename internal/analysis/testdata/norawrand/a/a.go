@@ -1,0 +1,16 @@
+// Package a seeds norawrand violations: both math/rand generations are
+// forbidden outside internal/xrand.
+package a
+
+import (
+	crand "crypto/rand" // fine: crypto randomness is not simulation randomness
+	"math/rand"         // want `import of "math/rand" breaks seeded determinism`
+	v2 "math/rand/v2"   // want `import of "math/rand/v2" breaks seeded determinism`
+)
+
+// Draw exists so the imports are used.
+func Draw() (int, uint64, []byte) {
+	b := make([]byte, 1)
+	_, _ = crand.Read(b)
+	return rand.Intn(10), v2.Uint64(), b
+}

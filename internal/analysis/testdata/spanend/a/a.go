@@ -1,0 +1,91 @@
+// Package a seeds spanend violations against a miniature tracer whose
+// shape matches bpart/internal/telemetry: Span(name) returns a value with
+// End and Annotate methods.
+package a
+
+import "errors"
+
+// Span mimics telemetry.Span.
+type Span struct{}
+
+// End closes the span.
+func (Span) End() {}
+
+// Annotate attaches attributes.
+func (Span) Annotate() {}
+
+// Tracer mimics telemetry.Tracer.
+type Tracer struct{}
+
+// Span opens a span.
+func (Tracer) Span(name string) Span { return Span{} }
+
+var cond bool
+
+// DiscardedInline starts a span nothing can ever end.
+func DiscardedInline(tr Tracer) {
+	tr.Span("phase") // want `span started and discarded`
+}
+
+// DiscardedBlank throws the span away explicitly.
+func DiscardedBlank(tr Tracer) {
+	_ = tr.Span("phase") // want `span discarded into _`
+}
+
+// NeverEnded uses the span but never closes it.
+func NeverEnded(tr Tracer) {
+	sp := tr.Span("phase") // want `span "sp" is never ended`
+	sp.Annotate()
+}
+
+// LeakOnEarlyReturn ends the span on the happy path only.
+func LeakOnEarlyReturn(tr Tracer) error {
+	sp := tr.Span("phase")
+	if cond {
+		return errors.New("bail") // want `span "sp" .* is not ended on this return path`
+	}
+	sp.End()
+	return nil
+}
+
+// Deferred is the canonical correct form.
+func Deferred(tr Tracer) error {
+	sp := tr.Span("phase")
+	defer sp.End()
+	if cond {
+		return errors.New("bail")
+	}
+	return nil
+}
+
+// EndPerPath mirrors the End-per-error-path style used by core.BPart.
+func EndPerPath(tr Tracer) error {
+	sp := tr.Span("phase")
+	if cond {
+		sp.End()
+		return errors.New("bail")
+	}
+	sp.End()
+	return nil
+}
+
+// Escapes hands the span to a helper, which owns ending it now.
+func Escapes(tr Tracer) {
+	sp := tr.Span("phase")
+	finish(sp)
+}
+
+func finish(sp Span) { sp.End() }
+
+// ConditionalStart mirrors partition.Stream: an interface-typed var
+// assigned under a guard, ended under the matching nil-style guard.
+func ConditionalStart(tr Tracer, on bool) {
+	var sp *Span
+	if on {
+		s := tr.Span("phase")
+		sp = &s
+	}
+	if sp != nil {
+		sp.End()
+	}
+}

@@ -271,9 +271,16 @@ func TestQuickTimingInvariants(t *testing.T) {
 func TestNewCopiesAssignment(t *testing.T) {
 	assignment := []int{0, 1, 1}
 	c := mustNew(t, assignment, 2)
-	assignment[2] = 0
-	if got := c.Owner(2); got != 1 {
-		t.Fatalf("Owner(2) = %d after caller mutated its slice, want 1", got)
+	// Clobber every entry of the caller's slice: the cluster must have
+	// taken its own copy at construction, not aliased ours.
+	for i := range assignment {
+		assignment[i] = 0
+	}
+	want := []int{0, 1, 1}
+	for v, w := range want {
+		if got := c.Owner(uint32(v)); got != w {
+			t.Fatalf("Owner(%d) = %d after caller mutated its slice, want %d", v, got, w)
+		}
 	}
 }
 

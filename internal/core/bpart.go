@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"bpart/internal/graph"
+	"bpart/internal/metrics"
 	"bpart/internal/partition"
 	"bpart/internal/telemetry"
 )
@@ -59,7 +60,8 @@ type Config struct {
 
 // Normalize fills defaults and validates the configuration.
 func (c *Config) Normalize() error {
-	if c.C == 0 && c.Alpha == 0 && c.Gamma == 0 && c.Slack == 0 && c.Epsilon == 0 && c.SplitFactor == 0 && c.MaxLayers == 0 {
+	if metrics.IsZero(c.C) && metrics.IsZero(c.Alpha) && metrics.IsZero(c.Gamma) &&
+		metrics.IsZero(c.Slack) && metrics.IsZero(c.Epsilon) && c.SplitFactor == 0 && c.MaxLayers == 0 {
 		*c = Default()
 		return nil
 	}
@@ -186,7 +188,9 @@ func (b *BPart) PartitionWithTrace(g *graph.Graph, k int) (*partition.Assignment
 
 	for layer := 1; nr > 0; layer++ {
 		if len(remaining) == 0 {
-			return nil, nil, fmt.Errorf("core: %d parts still to produce but no vertices remain", nr)
+			err := fmt.Errorf("core: %d parts still to produce but no vertices remain", nr)
+			runSpan.End(telemetry.String("error", err.Error()))
+			return nil, nil, err
 		}
 		last := layer >= b.cfg.MaxLayers || nr == 1
 		pieces := nr * pow(b.cfg.SplitFactor, layer)
@@ -400,7 +404,7 @@ func (b *BPart) balanced(grp group, targetV, targetE float64) bool {
 	if math.Abs(float64(grp.v)-targetV) > eps*targetV {
 		return false
 	}
-	if targetE == 0 {
+	if metrics.IsZero(targetE) {
 		return true
 	}
 	return math.Abs(float64(grp.e)-targetE) <= eps*targetE

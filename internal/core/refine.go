@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"bpart/internal/graph"
+	"bpart/internal/metrics"
 )
 
 // refineMoves counts what the refinement pass did, for telemetry: Shed is
@@ -57,7 +58,7 @@ func rebalance(g *graph.Graph, parts []int, k int, eps float64) refineMoves {
 
 	overV := func(p int) float64 { return float64(vCount[p]) - targetV }
 	overE := func(p int) float64 {
-		if targetE == 0 {
+		if metrics.IsZero(targetE) {
 			return 0
 		}
 		return float64(eCount[p]) - targetE

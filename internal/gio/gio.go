@@ -27,7 +27,9 @@ const binaryMagic = "BPG1"
 // WriteEdgeList writes g as "src dst" lines.
 func WriteEdgeList(w io.Writer, g *graph.Graph) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# bpart edge list: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	if _, err := fmt.Fprintf(bw, "# bpart edge list: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
 	var err error
 	g.Edges(func(e graph.Edge) bool {
 		_, err = fmt.Fprintf(bw, "%d %d\n", e.Src, e.Dst)

@@ -1,7 +1,7 @@
 package graph
 
 import (
-	"math/rand"
+	"bpart/internal/xrand"
 	"reflect"
 	"sort"
 	"testing"
@@ -307,7 +307,7 @@ func TestQuickBuildRoundTrip(t *testing.T) {
 	f := func(seed int64, rawN uint8, rawM uint16) bool {
 		n := int(rawN)%64 + 1
 		m := int(rawM) % 512
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(uint64(seed))
 		in := make([]Edge, m)
 		for i := range in {
 			in[i] = Edge{VertexID(rng.Intn(n)), VertexID(rng.Intn(n))}
@@ -334,7 +334,7 @@ func TestQuickBuildRoundTrip(t *testing.T) {
 // sum to the totals.
 func TestQuickDegreeSums(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(uint64(seed))
 		n := rng.Intn(100) + 2
 		m := rng.Intn(500)
 		b := NewBuilder(n)
@@ -371,7 +371,7 @@ func TestQuickDegreeSums(t *testing.T) {
 // connectivity matrix is consistent with CountCrossEdges.
 func TestQuickCutConsistency(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(uint64(seed))
 		n := rng.Intn(80) + 2
 		m := rng.Intn(400)
 		b := NewBuilder(n)
@@ -404,7 +404,7 @@ func TestQuickCutConsistency(t *testing.T) {
 }
 
 func BenchmarkBuild100k(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	const n, m = 10000, 100000
 	edges := make([]Edge, m)
 	for i := range edges {

@@ -1,0 +1,36 @@
+// Float comparison helpers: the designated home of every raw float ==/!=
+// in the balance-sensitive packages. The floateq analyzer
+// (internal/analysis/floateq) forbids the operators elsewhere in
+// internal/core, internal/partition and internal/metrics, so each call
+// site names its intent — a tolerance, a deterministic tie, an unset
+// sentinel — instead of leaving the reviewer to guess whether rounding
+// was considered.
+package metrics
+
+import "math"
+
+// ApproxEq reports whether a and b agree within eps, measured relative to
+// their magnitude for large values and absolutely near zero:
+// |a−b| ≤ eps·max(1, |a|, |b|).
+func ApproxEq(a, b, eps float64) bool {
+	scale := 1.0
+	if v := math.Abs(a); v > scale {
+		scale = v
+	}
+	if v := math.Abs(b); v > scale {
+		scale = v
+	}
+	return math.Abs(a-b) <= eps*scale
+}
+
+// TieEq reports exact bit-for-bit equality. It is for deterministic
+// tie-breaking between scores produced by identical arithmetic on the same
+// inputs — the streaming placement loop, sort comparators — where an
+// epsilon would *introduce* order dependence rather than remove it.
+func TieEq(a, b float64) bool { return a == b }
+
+// IsZero reports exact equality with zero. It is for zero used as an
+// "unset" or "degenerate" sentinel (no edges, empty sample, zero mean),
+// never for testing whether a computed quantity is small; use ApproxEq
+// against 0 with an explicit eps for that.
+func IsZero(x float64) bool { return x == 0 }

@@ -32,7 +32,7 @@ func Bias(xs []int) float64 {
 		sum += x
 	}
 	mean := float64(sum) / float64(len(xs))
-	if mean == 0 {
+	if IsZero(mean) {
 		return 0
 	}
 	return (float64(maxV) - mean) / mean
@@ -51,7 +51,7 @@ func BiasFloat(xs []float64) float64 {
 		sum += x
 	}
 	mean := sum / float64(len(xs))
-	if mean == 0 {
+	if IsZero(mean) {
 		return 0
 	}
 	return (maxV - mean) / mean
@@ -70,7 +70,7 @@ func Jain(xs []int) float64 {
 		sum += v
 		sumSq += v * v
 	}
-	if sumSq == 0 {
+	if IsZero(sumSq) {
 		return 1
 	}
 	return sum * sum / (float64(len(xs)) * sumSq)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"bpart/internal/graph"
+	"bpart/internal/metrics"
 	"bpart/internal/xrand"
 )
 
@@ -128,7 +129,7 @@ func (gd GD) bisect(g, in *graph.Graph, blk []graph.VertexID, rng *xrand.RNG) (a
 				norm = -gv
 			}
 		}
-		if norm == 0 {
+		if metrics.IsZero(norm) {
 			norm = 1
 		}
 		for i := range x {
@@ -153,7 +154,7 @@ func (gd GD) bisect(g, in *graph.Graph, blk []graph.VertexID, rng *xrand.RNG) (a
 		order[i] = i
 	}
 	sort.Slice(order, func(p, q int) bool {
-		if x[order[p]] != x[order[q]] {
+		if !metrics.TieEq(x[order[p]], x[order[q]]) {
 			return x[order[p]] > x[order[q]]
 		}
 		return order[p] < order[q]
@@ -233,10 +234,10 @@ func (gd GD) repairEdges(sideA, sideB []int, deg []float64, totalDeg float64) {
 // the degree vector (Gram–Schmidt), keeping Σx ≈ 0 and Σ deg·x ≈ 0 — the
 // two balance hyperplanes of the relaxation.
 func projectBalance(x, deg []float64, totalDeg float64) {
-	n := float64(len(x))
-	if n == 0 {
+	if len(x) == 0 {
 		return
 	}
+	n := float64(len(x))
 	var sum float64
 	for _, v := range x {
 		sum += v

@@ -2,6 +2,7 @@ package partition
 
 import (
 	"bpart/internal/graph"
+	"bpart/internal/metrics"
 )
 
 // LDG is the Linear Deterministic Greedy streaming partitioner of Stanton
@@ -61,7 +62,7 @@ func (l LDG) Partition(g *graph.Graph, k int) (*Assignment, error) {
 				continue
 			}
 			score := float64(affinity[i]) * (1 - float64(size[i])/capacity)
-			if score > bestScore || (score == bestScore && best >= 0 && size[i] < size[best]) {
+			if score > bestScore || (metrics.TieEq(score, bestScore) && best >= 0 && size[i] < size[best]) {
 				best, bestScore = i, score
 			}
 		}

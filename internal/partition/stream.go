@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"bpart/internal/graph"
+	"bpart/internal/metrics"
 	"bpart/internal/telemetry"
 )
 
@@ -146,7 +147,7 @@ func Stream(g *graph.Graph, opt StreamOptions) (*StreamResult, error) {
 		ms += g.OutDegree(v)
 	}
 	avgDeg := float64(ms) / float64(ns)
-	if avgDeg == 0 {
+	if metrics.IsZero(avgDeg) {
 		avgDeg = 1 // edgeless stream set: W_i degenerates to C·|V_i|+(1−C)·0
 	}
 	alpha := opt.Alpha
@@ -218,7 +219,7 @@ func Stream(g *graph.Graph, opt StreamOptions) (*StreamResult, error) {
 			score := float64(affinity[i]) - alpha*opt.Gamma*gammaPow(w[i])
 			if score > bestScore {
 				best, bestScore = i, score
-			} else if score == bestScore && best >= 0 && w[i] < w[best] {
+			} else if metrics.TieEq(score, bestScore) && best >= 0 && w[i] < w[best] {
 				best = i
 				tieBreaks++
 			}

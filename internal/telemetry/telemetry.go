@@ -259,8 +259,9 @@ func (m *Memory) Reset() {
 // Writes are buffered and mutex-serialized; call Close (or Flush) before
 // reading the output.
 type JSONL struct {
-	mu sync.Mutex
-	bw *bufio.Writer
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	werr error // first write failure, surfaced by Flush/Close
 }
 
 // NewJSONL returns a tracer writing JSON lines to w.
@@ -310,16 +311,24 @@ func (t *JSONL) record(r Record) {
 		line = []byte(fmt.Sprintf(`{"ts":%q,"type":"error","name":%q}`, jr.TS, r.Name))
 	}
 	t.mu.Lock()
-	t.bw.Write(line)
-	t.bw.WriteByte('\n')
+	// bufio's error is sticky, but record has no error channel of its own:
+	// remember the first failure so Flush reports a truncated trace even
+	// if a later Flush of the drained buffer succeeds.
+	if _, err := t.bw.Write(append(line, '\n')); err != nil && t.werr == nil {
+		t.werr = err
+	}
 	t.mu.Unlock()
 }
 
-// Flush drains buffered lines to the underlying writer.
+// Flush drains buffered lines to the underlying writer. It returns the
+// first error any record write hit, so a truncated trace is never silent.
 func (t *JSONL) Flush() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.bw.Flush()
+	if err := t.bw.Flush(); t.werr == nil && err != nil {
+		t.werr = err
+	}
+	return t.werr
 }
 
 // Close flushes; the underlying writer is the caller's to close.
