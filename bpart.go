@@ -368,6 +368,20 @@ func Experiments() []string {
 	return ids
 }
 
+// BenchArtifact is the machine-readable benchmark record cmd/bench writes
+// as BENCH_bpart.json (schema documented in EXPERIMENTS.md).
+type BenchArtifact = experiments.BenchArtifact
+
+// NewBenchArtifact starts a benchmark artifact for one bench invocation.
+func NewBenchArtifact(opt ExperimentOptions) *BenchArtifact {
+	return experiments.NewBenchArtifact(opt)
+}
+
+// ReadBenchArtifact parses a BENCH_bpart.json file.
+func ReadBenchArtifact(r io.Reader) (*BenchArtifact, error) {
+	return experiments.ReadBenchArtifact(r)
+}
+
 // RunExperiment regenerates one table or figure by ID (see Experiments).
 func RunExperiment(id string, opt ExperimentOptions) (*ExperimentTable, error) {
 	for _, e := range experiments.All() {

@@ -9,11 +9,15 @@
 //	bench -id "Fig 13" -id "Table 3"
 //	bench -list
 //	bench -trace run.jsonl -pprof localhost:6060
+//	bench -json BENCH_bpart.json
 //
 // With -trace, one "bench.experiment" span per experiment (id, duration,
-// row count) is appended as JSON lines. With -pprof, /debug/pprof/*,
-// /metrics and /debug/vars are served on the given address while the
-// benchmark runs — profile the harness live.
+// row count) is appended as JSON lines, along with the engines' spans and
+// per-superstep cluster records — feed the file to cmd/tracestat. With
+// -json, a machine-readable BENCH artifact (schema in EXPERIMENTS.md) is
+// written for regression tracking. With -pprof, /debug/pprof/*, /metrics
+// and /debug/vars are served on the given address while the benchmark
+// runs — profile the harness live.
 package main
 
 import (
@@ -40,6 +44,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	csvDir := flag.String("csv", "", "also write each experiment as CSV into this directory")
 	tracePath := flag.String("trace", "", "write a JSONL trace (one span per experiment) to this file")
+	jsonPath := flag.String("json", "", "write a machine-readable BENCH artifact (schema in EXPERIMENTS.md) to this file, e.g. BENCH_bpart.json")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /metrics and /debug/vars on this address")
 	flag.Var(&ids, "id", "experiment ID to run (repeatable; default all)")
 	flag.Parse()
@@ -79,7 +84,8 @@ func main() {
 	for _, id := range ids {
 		selected[id] = true
 	}
-	opt := bpart.ExperimentOptions{Scale: *scale, Walkers: *walkers}
+	opt := bpart.ExperimentOptions{Scale: *scale, Walkers: *walkers, Tracer: tracer, Metrics: reg}
+	artifact := bpart.NewBenchArtifact(opt)
 	fmt.Printf("# bpart experiment run: scale=%.2f\n\n", *scale)
 	failed := 0
 	grand := time.Now()
@@ -94,11 +100,13 @@ func main() {
 		tbl, err := bpart.RunExperiment(id, opt)
 		if err != nil {
 			sp.End(bpart.TraceString("error", err.Error()))
+			artifact.RecordExperiment(id, time.Since(start).Seconds(), 0, err)
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			failed++
 			continue
 		}
 		sp.End(bpart.TraceInt("rows", len(tbl.Rows)))
+		artifact.RecordExperiment(id, time.Since(start).Seconds(), len(tbl.Rows), nil)
 		reg.Counter("bench_experiments_total").Inc()
 		fmt.Printf("%s   [%.1fs]\n\n", tbl, time.Since(start).Seconds())
 		if *csvDir != "" {
@@ -109,6 +117,17 @@ func main() {
 		}
 	}
 	fmt.Printf("# total %.1fs\n", time.Since(grand).Seconds())
+	if *jsonPath != "" {
+		if err := artifact.Collect(opt, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: artifact:", err)
+			failed++
+		} else if err := artifact.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: artifact:", err)
+			failed++
+		} else {
+			fmt.Printf("# wrote %s\n", *jsonPath)
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}

@@ -1,0 +1,174 @@
+// Command tracestat analyzes the JSONL traces written by the telemetry
+// layer (bench -trace, or any program using telemetry.JSONL).
+//
+// Usage:
+//
+//	tracestat report [-html out.html] [-supersteps n] [-tree-spans n] trace.jsonl
+//	tracestat stragglers trace.jsonl
+//	tracestat critpath trace.jsonl
+//	tracestat diff [-fail-above pct] baseline.jsonl candidate.jsonl
+//
+// report prints the full analysis: span aggregates, the reconstructed
+// phase tree and, per BSP run, the WaitRatio decomposition, straggler
+// attribution and critical-path split; -html additionally writes a
+// self-contained timeline page. stragglers and critpath print just their
+// section. diff compares two traces and, with -fail-above, exits 1 when
+// any gated simulation metric regressed by more than the given percent —
+// the CI regression gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bpart/internal/traceview"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, `usage:
+  tracestat report [-html out.html] [-supersteps n] [-tree-spans n] trace.jsonl
+  tracestat stragglers trace.jsonl
+  tracestat critpath trace.jsonl
+  tracestat diff [-fail-above pct] baseline.jsonl candidate.jsonl`)
+	return 2
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		return usage(stderr)
+	}
+	switch args[0] {
+	case "report":
+		return cmdReport(args[1:], stdout, stderr)
+	case "stragglers":
+		return cmdRuns(args[1:], stdout, stderr, "stragglers")
+	case "critpath":
+		return cmdRuns(args[1:], stdout, stderr, "critpath")
+	case "diff":
+		return cmdDiff(args[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "tracestat: unknown subcommand %q\n", args[0])
+		return usage(stderr)
+	}
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "tracestat:", err)
+	return 1
+}
+
+func cmdReport(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	htmlPath := fs.String("html", "", "also write a self-contained HTML timeline to this file")
+	maxSteps := fs.Int("supersteps", 0, "max supersteps in the straggler table (0 = default)")
+	maxTree := fs.Int("tree-spans", 0, "max spans in the phase tree (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		return usage(stderr)
+	}
+	tr, err := traceview.ReadFile(fs.Arg(0))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	opt := traceview.ReportOptions{MaxSupersteps: *maxSteps, MaxTreeSpans: *maxTree}
+	if err := traceview.WriteReport(stdout, tr, opt); err != nil {
+		return fail(stderr, err)
+	}
+	if *htmlPath != "" {
+		f, err := os.Create(*htmlPath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := traceview.WriteHTML(f, tr); err != nil {
+			f.Close()
+			return fail(stderr, err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "\nwrote %s\n", *htmlPath)
+	}
+	return 0
+}
+
+// cmdRuns serves the single-section subcommands (stragglers, critpath):
+// parse, split into runs, print one section per run.
+func cmdRuns(args []string, stdout, stderr io.Writer, section string) int {
+	fs := flag.NewFlagSet(section, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxSteps := fs.Int("supersteps", 0, "max supersteps listed (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		return usage(stderr)
+	}
+	tr, err := traceview.ReadFile(fs.Arg(0))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	steps, err := traceview.Supersteps(tr)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if len(steps) == 0 {
+		fmt.Fprintln(stdout, "no cluster.superstep records in trace")
+		return 0
+	}
+	opt := traceview.ReportOptions{MaxSupersteps: *maxSteps}
+	for i, run := range traceview.GroupRuns(steps) {
+		var err error
+		switch section {
+		case "stragglers":
+			err = traceview.WriteStragglers(stdout, i+1, run, opt)
+		case "critpath":
+			err = traceview.WriteCritPath(stdout, i+1, run)
+		}
+		if err != nil {
+			return fail(stderr, err)
+		}
+	}
+	return 0
+}
+
+func cmdDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	failAbove := fs.Float64("fail-above", 0, "exit 1 when a gated metric regresses by more than this percent (0 = report only)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		return usage(stderr)
+	}
+	a, err := traceview.ReadFile(fs.Arg(0))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	b, err := traceview.ReadFile(fs.Arg(1))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	d, err := traceview.Diff(a, b)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if err := d.WriteText(stdout, *failAbove); err != nil {
+		return fail(stderr, err)
+	}
+	if d.Exceeds(*failAbove) {
+		fmt.Fprintf(stderr, "tracestat: regression gate tripped (fail-above %.2f%%)\n", *failAbove)
+		return 1
+	}
+	return 0
+}

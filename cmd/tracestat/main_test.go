@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleTrace = `{"ts":"2026-08-06T10:00:00Z","type":"span","name":"walk.run","dur_us":1000}
+{"ts":"2026-08-06T10:00:00.0001Z","type":"event","name":"cluster.superstep","attrs":{"iteration":0,"machines":2,"time_us":100,"compute":[50,40],"comm":[20,10],"waiting":[0,10],"steps":[1,1],"edges":[0,0],"vertices":[0,0],"messages":[10,10]}}
+`
+
+// slowerTrace regresses sim time by 50% and messages by 100%.
+const slowerTrace = `{"ts":"2026-08-06T10:00:00Z","type":"span","name":"walk.run","dur_us":2000}
+{"ts":"2026-08-06T10:00:00.0001Z","type":"event","name":"cluster.superstep","attrs":{"iteration":0,"machines":2,"time_us":150,"compute":[80,40],"comm":[20,10],"waiting":[0,10],"steps":[1,1],"edges":[0,0],"vertices":[0,0],"messages":[20,20]}}
+`
+
+func writeTrace(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestReportSubcommand(t *testing.T) {
+	path := writeTrace(t, "a.jsonl", sampleTrace)
+	code, out, errb := runCLI(t, "report", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"TRACE SUMMARY", "walk.run", "RUN 1:", "wait ratio", "straggler attribution", "critical path"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportHTMLFlag(t *testing.T) {
+	path := writeTrace(t, "a.jsonl", sampleTrace)
+	htmlPath := filepath.Join(t.TempDir(), "out.html")
+	code, _, errb := runCLI(t, "report", "-html", htmlPath, path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	data, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Fatal("HTML artifact missing timeline SVG")
+	}
+}
+
+func TestStragglersSubcommand(t *testing.T) {
+	path := writeTrace(t, "a.jsonl", sampleTrace)
+	code, out, errb := runCLI(t, "stragglers", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "straggler attribution") || !strings.Contains(out, "M0") {
+		t.Fatalf("stragglers output:\n%s", out)
+	}
+}
+
+func TestCritpathSubcommand(t *testing.T) {
+	path := writeTrace(t, "a.jsonl", sampleTrace)
+	code, out, errb := runCLI(t, "critpath", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "critical path") {
+		t.Fatalf("critpath output:\n%s", out)
+	}
+}
+
+// The regression gate: identical traces pass, a regressed candidate under a
+// tight threshold exits non-zero (the ISSUE's acceptance criterion).
+func TestDiffRegressionGate(t *testing.T) {
+	a := writeTrace(t, "a.jsonl", sampleTrace)
+	b := writeTrace(t, "b.jsonl", slowerTrace)
+
+	code, out, _ := runCLI(t, "diff", a, a)
+	if code != 0 {
+		t.Fatalf("self-diff exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "no gated regressions") {
+		t.Fatalf("self-diff output:\n%s", out)
+	}
+
+	code, out, errb := runCLI(t, "diff", "-fail-above", "10", a, b)
+	if code != 1 {
+		t.Fatalf("regressed diff exit %d, want 1; stdout:\n%s", code, out)
+	}
+	if !strings.Contains(errb, "regression gate tripped") {
+		t.Fatalf("stderr missing gate message: %s", errb)
+	}
+	if !strings.Contains(out, "FAIL") {
+		t.Fatalf("diff table missing FAIL marker:\n%s", out)
+	}
+
+	// Same regression without the gate: report only, exit 0.
+	code, _, _ = runCLI(t, "diff", a, b)
+	if code != 0 {
+		t.Fatalf("ungated diff exit %d, want 0", code)
+	}
+
+	// Threshold above the worst regression: exit 0.
+	code, _, _ = runCLI(t, "diff", "-fail-above", "500", a, b)
+	if code != 0 {
+		t.Fatalf("high-threshold diff exit %d, want 0", code)
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Errorf("no args exit = %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "bogus"); code != 2 {
+		t.Errorf("unknown subcommand exit = %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "report"); code != 2 {
+		t.Errorf("report with no file exit = %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "diff", "one.jsonl"); code != 2 {
+		t.Errorf("diff with one file exit = %d, want 2", code)
+	}
+	if code, _, stderr := runCLI(t, "report", "/nonexistent/trace.jsonl"); code != 1 || stderr == "" {
+		t.Errorf("missing file exit = %d, want 1 with stderr", code)
+	}
+}
+
+func TestTruncatedTraceStillReports(t *testing.T) {
+	path := writeTrace(t, "torn.jsonl", sampleTrace+`{"ts":"2026-08-06T10:00:01Z","type":"ev`)
+	code, out, errb := runCLI(t, "report", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "WARNING: final line torn") {
+		t.Fatalf("no truncation warning:\n%s", out)
+	}
+}

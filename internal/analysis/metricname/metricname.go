@@ -1,6 +1,7 @@
 // Package metricname vets names handed to the telemetry registry.
 //
-// Registry.Counter / Registry.Gauge are get-or-create by name: a typo'd or
+// Registry.Counter / Registry.Gauge / Registry.Histogram are get-or-create
+// by name: a typo'd or
 // dynamically built name silently forks a second metric, and a name reused
 // across kinds (counter in one file, gauge in another) splits one logical
 // metric into two exported series. This pass requires every name to be a
@@ -22,9 +23,9 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "metricname",
 	Doc: "require snake_case constant metric names, consistent per kind\n\n" +
-		"Names passed to telemetry Registry.Counter/Gauge must be compile-time " +
-		"string constants matching ^[a-z][a-z0-9]*(_[a-z0-9]+)*$, and one name " +
-		"must keep one kind across the repo.",
+		"Names passed to telemetry Registry.Counter/Gauge/Histogram must be " +
+		"compile-time string constants matching ^[a-z][a-z0-9]*(_[a-z0-9]+)*$, " +
+		"and one name must keep one kind across the repo.",
 	Run: run,
 }
 
@@ -63,6 +64,8 @@ func run(pass *analysis.Pass) error {
 				kind = "counter"
 			case "Gauge":
 				kind = "gauge"
+			case "Histogram":
+				kind = "histogram"
 			default:
 				return true
 			}

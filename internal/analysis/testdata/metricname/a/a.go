@@ -14,6 +14,12 @@ type Gauge struct{}
 // Set records a value.
 func (*Gauge) Set(float64) {}
 
+// Histogram mimics telemetry.Histogram.
+type Histogram struct{}
+
+// Observe records a sample.
+func (*Histogram) Observe(float64) {}
+
 // Registry mimics telemetry.Registry.
 type Registry struct{}
 
@@ -22,6 +28,9 @@ func (*Registry) Counter(name string) *Counter { return nil }
 
 // Gauge returns the named gauge.
 func (*Registry) Gauge(name string) *Gauge { return nil }
+
+// Histogram returns the named histogram.
+func (*Registry) Histogram(name string) *Histogram { return nil }
 
 const goodName = "layers_total"
 
@@ -37,4 +46,11 @@ func Record(reg *Registry, dynamic string) {
 	reg.Counter("_leading_underscore").Inc() // want `not snake_case`
 	reg.Gauge("stream_placed_total").Set(0)  // want `metric "stream_placed_total" registered as gauge here but as counter`
 	reg.Counter("stream_placed_total").Inc() // fine: same name, same kind (get-or-create)
+
+	reg.Histogram("superstep_time_us").Observe(1)
+	reg.Histogram("superstep_time_us").Observe(2)   // fine: same name, same kind
+	reg.Histogram(dynamic).Observe(1)               // want `metric name must be a compile-time string constant`
+	reg.Histogram("Superstep_Time").Observe(1)      // want `not snake_case`
+	reg.Histogram("stream_placed_total").Observe(1) // want `metric "stream_placed_total" registered as histogram here but as counter`
+	reg.Counter("superstep_time_us").Inc()          // want `metric "superstep_time_us" registered as counter here but as histogram`
 }

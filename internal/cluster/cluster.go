@@ -222,6 +222,17 @@ func (c *Cluster) observe(st *IterationStats) {
 		c.reg.Counter("cluster_supersteps_total").Inc()
 		c.reg.Counter("cluster_messages_total").Add(msgs)
 		c.reg.Counter("cluster_sim_time_us_total").Add(int64(st.Time))
+		// Distribution metrics: the histogram summaries BENCH artifacts
+		// persist. Superstep durations and, per machine per superstep,
+		// the compute load and the outgoing message batch — the raw
+		// material of the paper's Fig 12 skew and Fig 13 waiting plots.
+		c.reg.Histogram("cluster_superstep_time_us").Observe(st.Time)
+		computeH := c.reg.Histogram("cluster_machine_compute_us")
+		msgH := c.reg.Histogram("cluster_machine_message_batch")
+		for i := range st.Compute {
+			computeH.Observe(st.Compute[i])
+			msgH.Observe(float64(st.Work.Messages[i]))
+		}
 	}
 	if c.tr != nil && c.tr.Enabled() {
 		var waiting float64

@@ -445,3 +445,38 @@ func TestSuperstepTelemetry(t *testing.T) {
 		t.Fatalf("detached cluster still recorded: %d records", got)
 	}
 }
+
+// Histograms: superstep durations, per-machine compute loads and message
+// batch sizes are recorded per FinishIteration.
+func TestSuperstepHistograms(t *testing.T) {
+	model := CostModel{StepCost: 1, MessageCost: 2, Latency: 10}
+	c, err := New([]int{0, 1}, 2, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	c.SetTelemetry(nil, reg)
+
+	w := c.NewCounters()
+	w.Steps[0], w.Steps[1] = 3, 1
+	w.Messages[1] = 2
+	st := c.FinishIteration(w)
+	c.FinishIteration(c.NewCounters())
+
+	if got := reg.Histogram("cluster_superstep_time_us").Count(); got != 2 {
+		t.Fatalf("superstep time observations = %d, want 2", got)
+	}
+	if got := reg.Histogram("cluster_superstep_time_us").Quantile(1); got != st.Time {
+		t.Fatalf("superstep time max = %v, want %v", got, st.Time)
+	}
+	if got := reg.Histogram("cluster_machine_compute_us").Count(); got != 4 {
+		t.Fatalf("compute observations = %d, want 2 machines x 2 iterations", got)
+	}
+	bh := reg.Histogram("cluster_machine_message_batch")
+	if got := bh.Count(); got != 4 {
+		t.Fatalf("message batch observations = %d, want 4", got)
+	}
+	if got := bh.Sum(); got != 2 {
+		t.Fatalf("message batch sum = %v, want 2", got)
+	}
+}

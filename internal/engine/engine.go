@@ -25,8 +25,9 @@ import (
 type Engine struct {
 	g     *graph.Graph
 	cl    *cluster.Cluster
-	owned [][]graph.VertexID // vertices per machine
-	tel   telemetry.Tracer   // run-level spans; supersteps come from cl
+	owned [][]graph.VertexID  // vertices per machine
+	tel   telemetry.Tracer    // run-level spans; supersteps come from cl
+	reg   *telemetry.Registry // run-level histograms; superstep metrics come from cl
 
 	trMu sync.Mutex
 	tr   *graph.Graph // transpose, built on demand (CC uses both directions)
@@ -61,6 +62,7 @@ func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
 // IterationStats.
 func (e *Engine) SetTelemetry(tr telemetry.Tracer, reg *telemetry.Registry) {
 	e.tel = telemetry.Safe(tr)
+	e.reg = reg
 	e.cl.SetTelemetry(tr, reg)
 }
 
@@ -200,6 +202,7 @@ func (e *Engine) pageRankPush(iters int, damping, tol float64) (*PRResult, error
 		}
 	}
 	res.Ranks = ranks
+	e.reg.Histogram("engine_run_sim_time_us").Observe(res.Stats.TotalTime())
 	sp.End(
 		telemetry.Int("iterations", len(res.Stats.Iterations)),
 		telemetry.Float("delta", res.Delta),
@@ -299,6 +302,7 @@ func (e *Engine) ConnectedComponents(maxIters int) (*CCResult, error) {
 		seen[l] = struct{}{}
 	}
 	res.Components = len(seen)
+	e.reg.Histogram("engine_run_sim_time_us").Observe(res.Stats.TotalTime())
 	sp.End(
 		telemetry.Int("iterations", len(res.Stats.Iterations)),
 		telemetry.Int("components", res.Components),
@@ -330,6 +334,7 @@ func (e *Engine) BFS(source graph.VertexID) (*BFSResult, error) {
 	sp := e.tel.Span("engine.bfs", telemetry.Int("source", int(source)))
 	res := &BFSResult{}
 	for depth := int32(1); len(frontier) > 0; depth++ {
+		e.reg.Histogram("engine_bfs_frontier_vertices").Observe(float64(len(frontier)))
 		w := e.cl.NewCounters()
 		// Split the frontier by owner so each machine scans its own part.
 		byOwner := make([][]graph.VertexID, k)
@@ -375,6 +380,7 @@ func (e *Engine) BFS(source graph.VertexID) (*BFSResult, error) {
 			res.Reached++
 		}
 	}
+	e.reg.Histogram("engine_run_sim_time_us").Observe(res.Stats.TotalTime())
 	sp.End(
 		telemetry.Int("iterations", len(res.Stats.Iterations)),
 		telemetry.Int("reached", res.Reached),

@@ -137,3 +137,36 @@ func TestTraversalTelemetry(t *testing.T) {
 		t.Fatalf("engine.cc components attr = %v", ccs[0].Attr("components"))
 	}
 }
+
+// Histograms: each traced algorithm run observes its simulated time once;
+// BFS additionally records its frontier sizes.
+func TestRunHistograms(t *testing.T) {
+	g, err := gen.ChungLu(gen.Config{NumVertices: 2000, AvgDegree: 8, Skew: 0.7, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, 4)
+	reg := telemetry.NewRegistry()
+	e.SetTelemetry(nil, reg)
+
+	pr, err := e.PageRank(3, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, err := e.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh := reg.Histogram("engine_run_sim_time_us")
+	if rh.Count() != 2 {
+		t.Fatalf("run time observations = %d, want 2 (PR + BFS)", rh.Count())
+	}
+	want := pr.Stats.TotalTime() + bfs.Stats.TotalTime()
+	if got := rh.Sum(); got != want {
+		t.Fatalf("run time sum = %v, want %v", got, want)
+	}
+	fh := reg.Histogram("engine_bfs_frontier_vertices")
+	if got := fh.Count(); got != int64(len(bfs.Stats.Iterations)) {
+		t.Fatalf("frontier observations = %d, want %d", got, len(bfs.Stats.Iterations))
+	}
+}

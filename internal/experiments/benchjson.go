@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"bpart/internal/gen"
+	"bpart/internal/metrics"
+	"bpart/internal/telemetry"
+	"bpart/internal/walk"
+)
+
+// BenchSchemaVersion is the BENCH_bpart.json schema version. Bump it on
+// any incompatible field change; consumers must check it before trusting
+// field meanings. The schema itself is documented in EXPERIMENTS.md.
+const BenchSchemaVersion = 1
+
+// BenchExperiment is one experiment's entry in the artifact. Wall-clock
+// seconds vary run to run; everything else is deterministic at a fixed
+// scale.
+type BenchExperiment struct {
+	ID          string  `json:"id"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Rows        int     `json:"rows"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// BenchPartition is one (graph, scheme, k) cell of the artifact's
+// canonical comparison workload: partition quality plus the simulated
+// runtime of a fixed short walk. All fields are deterministic, so two
+// artifacts at the same scale are directly diffable.
+type BenchPartition struct {
+	Graph      string  `json:"graph"`
+	Scheme     string  `json:"scheme"`
+	K          int     `json:"k"`
+	VertexBias float64 `json:"vertex_bias"`
+	EdgeBias   float64 `json:"edge_bias"`
+	VertexJain float64 `json:"vertex_jain"`
+	EdgeJain   float64 `json:"edge_jain"`
+	CutRatio   float64 `json:"cut_ratio"`
+	SimTimeUS  float64 `json:"sim_time_us"`
+	WaitRatio  float64 `json:"wait_ratio"`
+}
+
+// BenchArtifact is the machine-readable benchmark record cmd/bench writes
+// (BENCH_bpart.json). Fields marshal in declaration order, so the output
+// is byte-deterministic given identical contents.
+type BenchArtifact struct {
+	SchemaVersion int                          `json:"schema_version"`
+	Scale         float64                      `json:"scale"`
+	Walkers       int                          `json:"walkers,omitempty"`
+	Experiments   []BenchExperiment            `json:"experiments"`
+	Partitions    []BenchPartition             `json:"partitions"`
+	Histograms    []telemetry.HistogramSummary `json:"histograms"`
+}
+
+// NewBenchArtifact starts an artifact for one bench invocation.
+func NewBenchArtifact(opt Options) *BenchArtifact {
+	return &BenchArtifact{
+		SchemaVersion: BenchSchemaVersion,
+		Scale:         opt.scale(),
+		Walkers:       opt.Walkers,
+		Experiments:   []BenchExperiment{},
+		Partitions:    []BenchPartition{},
+		Histograms:    []telemetry.HistogramSummary{},
+	}
+}
+
+// RecordExperiment appends one experiment outcome in run order.
+func (a *BenchArtifact) RecordExperiment(id string, wallSeconds float64, rows int, runErr error) {
+	e := BenchExperiment{ID: id, WallSeconds: wallSeconds, Rows: rows}
+	if runErr != nil {
+		e.Error = runErr.Error()
+	}
+	a.Experiments = append(a.Experiments, e)
+}
+
+// benchPartitionK is the canonical workload's machine count — the paper's
+// default cluster size in Fig 12/13.
+const benchPartitionK = 8
+
+// benchWalkConfig is the canonical workload's walk: short, seeded, and
+// identical across runs, so its SimTimeUS/WaitRatio columns are
+// regression-comparable.
+var benchWalkConfig = walk.Config{Kind: walk.Simple, WalkersPerVertex: 1, Steps: 4, Seed: 1}
+
+// Collect fills the deterministic sections: the canonical partition
+// comparison (every scheme on the LJ-sim dataset) and, when reg is
+// non-nil, the registry's histogram summaries (sorted by name).
+func (a *BenchArtifact) Collect(opt Options, reg *telemetry.Registry) error {
+	d := gen.LJSim
+	g, err := dataset(d, opt)
+	if err != nil {
+		return err
+	}
+	for _, scheme := range allSchemes {
+		parts, err := assignment(d, opt, scheme, benchPartitionK)
+		if err != nil {
+			return fmt.Errorf("bench artifact: %w", err)
+		}
+		rep := metrics.NewReport(g, parts, benchPartitionK, false)
+		e, err := walkEngine(d, opt, scheme, benchPartitionK)
+		if err != nil {
+			return fmt.Errorf("bench artifact: %w", err)
+		}
+		res, err := e.Run(benchWalkConfig)
+		if err != nil {
+			return fmt.Errorf("bench artifact: %s walk: %w", scheme, err)
+		}
+		a.Partitions = append(a.Partitions, BenchPartition{
+			Graph:      string(d),
+			Scheme:     scheme,
+			K:          benchPartitionK,
+			VertexBias: rep.VertexBias,
+			EdgeBias:   rep.EdgeBias,
+			VertexJain: rep.VertexJain,
+			EdgeJain:   rep.EdgeJain,
+			CutRatio:   rep.CutRatio,
+			SimTimeUS:  res.Stats.TotalTime(),
+			WaitRatio:  res.Stats.WaitRatio(),
+		})
+	}
+	if reg != nil {
+		a.Histograms = reg.HistogramSummaries()
+	}
+	return nil
+}
+
+// WriteJSON marshals the artifact (indented, trailing newline).
+func (a *BenchArtifact) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteFile writes the artifact to path.
+func (a *BenchArtifact) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := a.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBenchArtifact parses a BENCH_bpart.json file, rejecting unknown
+// schema versions.
+func ReadBenchArtifact(r io.Reader) (*BenchArtifact, error) {
+	var a BenchArtifact
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("bench artifact: %w", err)
+	}
+	if a.SchemaVersion != BenchSchemaVersion {
+		return nil, fmt.Errorf("bench artifact: schema version %d, this reader handles %d", a.SchemaVersion, BenchSchemaVersion)
+	}
+	return &a, nil
+}

@@ -24,6 +24,7 @@ import (
 	"bpart/internal/gen"
 	"bpart/internal/graph"
 	"bpart/internal/partition"
+	"bpart/internal/telemetry"
 	"bpart/internal/walk"
 )
 
@@ -37,6 +38,13 @@ type Options struct {
 	// (default: the paper's 5 for load/waiting figures, 1 for the
 	// application-time figures).
 	Walkers int
+	// Tracer, when non-nil, is attached to every engine an experiment
+	// builds, so a `bench -trace` run captures cluster.superstep records
+	// for tracestat to analyze.
+	Tracer telemetry.Tracer
+	// Metrics, when non-nil, collects the engines' counters and
+	// histograms; its summaries feed the BENCH artifact.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) scale() float64 {
@@ -265,7 +273,14 @@ func walkEngine(d gen.Dataset, opt Options, scheme string, k int) (*walk.Engine,
 	if err != nil {
 		return nil, err
 	}
-	return walk.New(g, parts, k, cluster.DefaultCostModel())
+	e, err := walk.New(g, parts, k, cluster.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+	if opt.Tracer != nil || opt.Metrics != nil {
+		e.SetTelemetry(opt.Tracer, opt.Metrics)
+	}
+	return e, nil
 }
 
 func iterEngine(d gen.Dataset, opt Options, scheme string, k int) (*engine.Engine, error) {
@@ -287,6 +302,9 @@ func iterEngine(d gen.Dataset, opt Options, scheme string, k int) (*engine.Engin
 	}
 	if err := e.SetTranspose(tr); err != nil {
 		return nil, err
+	}
+	if opt.Tracer != nil || opt.Metrics != nil {
+		e.SetTelemetry(opt.Tracer, opt.Metrics)
 	}
 	return e, nil
 }

@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+)
+
+// Histogram bucket layout: bucket i (1 ≤ i ≤ histSpan) holds observations
+// in (2^(minExp+i-2), 2^(minExp+i-1)]; bucket 0 is the underflow bucket
+// (v ≤ 2^(minExp-1), including zero and negatives) and the last bucket
+// catches overflow. The range 2^-10 … 2^40 spans sub-nanosecond costs up to
+// ~12 days of simulated microseconds, so in practice everything the repo
+// observes lands in a real bucket.
+const (
+	histMinExp  = -10
+	histMaxExp  = 40
+	histSpan    = histMaxExp - histMinExp + 1
+	histBuckets = histSpan + 2 // + underflow + overflow
+)
+
+// Histogram is a log-bucketed (powers of two) distribution metric. Like
+// Counter and Gauge it is concurrency- and nil-safe: a nil *Histogram
+// (from a nil *Registry) ignores observations. Observations are a mutex,
+// an exponent extraction and an array increment — cheap enough for
+// per-superstep and per-batch recording, which is the intended grain; do
+// not put one inside a per-edge loop.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [histBuckets]int64
+}
+
+// histBucketIndex maps an observation to its bucket.
+func histBucketIndex(v float64) int {
+	if v <= math.Ldexp(1, histMinExp-1) { // ≤ lower edge of the first real bucket
+		return 0
+	}
+	// Frexp gives v = frac·2^exp with frac in [0.5,1), so v ∈ (2^(exp-1), 2^exp]
+	// exactly when frac < 1 — i.e. exp is already the ceiling exponent,
+	// except for exact powers of two where frac == 0.5.
+	frac, exp := math.Frexp(v)
+	if frac == 0.5 {
+		exp--
+	}
+	if exp > histMaxExp {
+		return histBuckets - 1
+	}
+	return exp - histMinExp + 1
+}
+
+// histBucketUpper is the inclusive upper bound of bucket i (+Inf for the
+// overflow bucket).
+func histBucketUpper(i int) float64 {
+	if i <= 0 {
+		return math.Ldexp(1, histMinExp-1)
+	}
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, histMinExp+i-1)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[histBucketIndex(v)]++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observations (0 for a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) as the upper bound of the
+// bucket holding that rank, clamped to the observed min/max so p0 and p100
+// are exact. A histogram with no observations reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= rank {
+			est := histBucketUpper(i)
+			if est < h.min {
+				est = h.min
+			}
+			if est > h.max {
+				est = h.max
+			}
+			return est
+		}
+	}
+	return h.max
+}
+
+// HistogramSummary is a point-in-time digest of a histogram, the shape the
+// BENCH artifacts persist.
+type HistogramSummary struct {
+	Name  string  `json:"name"`
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Summary digests the histogram's current state. Name is left for the
+// registry to fill.
+func (h *Histogram) Summary() HistogramSummary {
+	if h == nil {
+		return HistogramSummary{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSummary{
+		Count: h.count,
+		Sum:   h.sum,
+		Min:   h.min,
+		Max:   h.max,
+		P50:   h.quantileLocked(0.50),
+		P90:   h.quantileLocked(0.90),
+		P99:   h.quantileLocked(0.99),
+	}
+}
+
+// cumulative returns the non-empty buckets as (upper bound, cumulative
+// count) pairs — the Prometheus bucket series minus its empty entries.
+func (h *Histogram) cumulative() (uppers []float64, counts []int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum int64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		uppers = append(uppers, histBucketUpper(i))
+		counts = append(counts, cum)
+	}
+	return uppers, counts
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	cases := []struct {
+		v     float64
+		upper float64 // inclusive upper bound of the bucket v must land in
+	}{
+		{0, math.Ldexp(1, histMinExp-1)},
+		{-3, math.Ldexp(1, histMinExp-1)},
+		{0.0004, math.Ldexp(1, histMinExp-1)}, // ≤ 2^-11: underflow
+		{1, 1},                                // exact power of two: its own bucket
+		{1.5, 2},
+		{2, 2},
+		{2.01, 4},
+		{1000, 1024},
+		{math.Ldexp(1, histMaxExp), math.Ldexp(1, histMaxExp)},
+		{math.Ldexp(1, histMaxExp+3), math.Inf(1)}, // overflow
+	}
+	for _, c := range cases {
+		idx := histBucketIndex(c.v)
+		if got := histBucketUpper(idx); got != c.upper {
+			t.Errorf("bucket upper for %g = %g, want %g (bucket %d)", c.v, got, c.upper, idx)
+		}
+		if idx > 0 && idx < histBuckets-1 {
+			lower := histBucketUpper(idx - 1)
+			if !(c.v > lower && c.v <= histBucketUpper(idx)) {
+				t.Errorf("%g outside its bucket (%g, %g]", c.v, lower, histBucketUpper(idx))
+			}
+		}
+	}
+}
+
+func TestHistogramObserveAndQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("superstep_time_us")
+	for v := 1.0; v <= 100; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Fatalf("sum = %g, want 5050", h.Sum())
+	}
+	if reg.Histogram("superstep_time_us") != h {
+		t.Fatal("Histogram did not return the same instance")
+	}
+	// Log buckets give upper-bound estimates: p50 of 1..100 ranks at 50,
+	// bucket (32,64] → 64; clamped quantiles are exact at the extremes.
+	if got := h.Quantile(0.5); got != 64 {
+		t.Fatalf("p50 = %g, want 64", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("p0 = %g, want observed min 1", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Fatalf("p100 = %g, want observed max 100", got)
+	}
+	s := h.Summary()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 || s.P50 != 64 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestNilHistogramIsNoop(t *testing.T) {
+	var reg *Registry
+	h := reg.Histogram("x")
+	h.Observe(3)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram accumulated")
+	}
+	if s := h.Summary(); s.Count != 0 {
+		t.Fatalf("nil summary = %+v", s)
+	}
+}
+
+func TestHistogramSummariesSorted(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("z_last").Observe(1)
+	reg.Histogram("a_first").Observe(2)
+	reg.Histogram("m_mid").Observe(3)
+	sums := reg.HistogramSummaries()
+	if len(sums) != 3 || sums[0].Name != "a_first" || sums[1].Name != "m_mid" || sums[2].Name != "z_last" {
+		t.Fatalf("summaries out of order: %+v", sums)
+	}
+	var nilReg *Registry
+	if nilReg.HistogramSummaries() != nil {
+		t.Fatal("nil registry summaries not nil")
+	}
+}
+
+func TestHistogramPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("walk_transfer_batch_walkers")
+	h.Observe(3)
+	h.Observe(4)
+	h.Observe(900)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE walk_transfer_batch_walkers histogram",
+		`walk_transfer_batch_walkers_bucket{le="4"} 2`,
+		`walk_transfer_batch_walkers_bucket{le="1024"} 3`,
+		`walk_transfer_batch_walkers_bucket{le="+Inf"} 3`,
+		"walk_transfer_batch_walkers_sum 907",
+		"walk_transfer_batch_walkers_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramInSnapshotIsJSONEncodable(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("cluster_superstep_time_us").Observe(12.5)
+	snap := reg.Snapshot()
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("snapshot not JSON-encodable: %v", err)
+	}
+	if !strings.Contains(string(b), `"count":1`) {
+		t.Fatalf("snapshot JSON missing histogram digest: %s", b)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				reg.Histogram("concurrent_us").Observe(float64(i*1000 + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := reg.Histogram("concurrent_us").Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}

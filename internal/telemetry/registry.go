@@ -60,16 +60,18 @@ func (g *Gauge) Value() float64 {
 // should be Prometheus-style snake_case ("stream_placed_total"); invalid
 // characters are sanitized at export time, not at update time.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
 	}
 }
 
@@ -115,24 +117,77 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the named histogram, creating it on first use. A nil
+// registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// HistogramSummaries digests every histogram, sorted by name — the
+// deterministic-order view BENCH artifacts embed.
+func (r *Registry) HistogramSummaries() []HistogramSummary {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.histograms))
+	for name := range r.histograms {
+		names = append(names, name)
+	}
+	hs := make(map[string]*Histogram, len(names))
+	for _, name := range names {
+		hs[name] = r.histograms[name]
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]HistogramSummary, 0, len(names))
+	for _, name := range names {
+		s := hs[name].Summary()
+		s.Name = name
+		out = append(out, s)
+	}
+	return out
+}
+
 // Snapshot returns every metric's current value keyed by name — the
 // expvar-compatible view: publish it with
 //
 //	expvar.Publish("bpart", expvar.Func(func() any { return reg.Snapshot() }))
 //
-// Counters appear as int64, gauges as float64.
+// Counters appear as int64, gauges as float64, histograms as their
+// HistogramSummary digest.
 func (r *Registry) Snapshot() map[string]any {
 	if r == nil {
 		return nil
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make(map[string]any, len(r.counters)+len(r.gauges))
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.histograms))
 	for name, c := range r.counters {
 		out[name] = c.Value()
 	}
 	for name, g := range r.gauges {
 		out[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s := h.Summary()
+		s.Name = name
+		out[name] = s
 	}
 	return out
 }
@@ -142,25 +197,53 @@ func (r *Registry) Snapshot() map[string]any {
 //
 //	# TYPE stream_placed_total counter
 //	stream_placed_total 12345
+//
+// Histograms use the standard cumulative-bucket exposition (empty buckets
+// elided; the cumulative counts still parse):
+//
+//	# TYPE superstep_time_us histogram
+//	superstep_time_us_bucket{le="256"} 7
+//	superstep_time_us_bucket{le="+Inf"} 9
+//	superstep_time_us_sum 1893.2
+//	superstep_time_us_count 9
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	type metric struct {
-		name, typ, value string
+		name, block string
 	}
 	r.mu.RLock()
-	ms := make([]metric, 0, len(r.counters)+len(r.gauges))
+	ms := make([]metric, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
 	for name, c := range r.counters {
-		ms = append(ms, metric{sanitizeMetricName(name), "counter", fmt.Sprintf("%d", c.Value())})
+		n := sanitizeMetricName(name)
+		ms = append(ms, metric{n, fmt.Sprintf("# TYPE %s counter\n%s %d\n", n, n, c.Value())})
 	}
 	for name, g := range r.gauges {
-		ms = append(ms, metric{sanitizeMetricName(name), "gauge", fmt.Sprintf("%g", g.Value())})
+		n := sanitizeMetricName(name)
+		ms = append(ms, metric{n, fmt.Sprintf("# TYPE %s gauge\n%s %g\n", n, n, g.Value())})
+	}
+	for name, h := range r.histograms {
+		n := sanitizeMetricName(name)
+		var b strings.Builder
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		uppers, counts := h.cumulative()
+		var total int64
+		for i, ub := range uppers {
+			total = counts[i]
+			if math.IsInf(ub, 1) {
+				continue // folded into the +Inf line below
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", n, fmt.Sprintf("%g", ub), counts[i])
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, total)
+		fmt.Fprintf(&b, "%s_sum %g\n%s_count %d\n", n, h.Sum(), n, h.Count())
+		ms = append(ms, metric{n, b.String()})
 	}
 	r.mu.RUnlock()
 	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
 	for _, m := range ms {
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", m.name, m.typ, m.name, m.value); err != nil {
+		if _, err := io.WriteString(w, m.block); err != nil {
 			return err
 		}
 	}

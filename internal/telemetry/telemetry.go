@@ -259,13 +259,29 @@ func (m *Memory) Reset() {
 // Writes are buffered and mutex-serialized; call Close (or Flush) before
 // reading the output.
 type JSONL struct {
-	mu   sync.Mutex
-	bw   *bufio.Writer
-	werr error // first write failure, surfaced by Flush/Close
+	mu         sync.Mutex
+	bw         *bufio.Writer
+	werr       error // first write failure, surfaced by Flush/Close
+	flushEvery int   // auto-flush after this many records (0 = only on Flush/Close)
+	sinceFlush int
 }
 
 // NewJSONL returns a tracer writing JSON lines to w.
 func NewJSONL(w io.Writer) *JSONL { return &JSONL{bw: bufio.NewWriter(w)} }
+
+// FlushEvery makes the tracer flush its buffer after every n records, so a
+// run that dies without Close still leaves all but the last n records on
+// disk (each record is written as one complete line, so the surviving
+// prefix stays parseable; tracestat additionally tolerates a torn final
+// line from a crash mid-write). n <= 0 restores flush-on-Close-only. It
+// returns t for chaining at construction.
+func (t *JSONL) FlushEvery(n int) *JSONL {
+	t.mu.Lock()
+	t.flushEvery = n
+	t.sinceFlush = 0
+	t.mu.Unlock()
+	return t
+}
 
 // Enabled implements Tracer.
 func (t *JSONL) Enabled() bool { return true }
@@ -316,6 +332,15 @@ func (t *JSONL) record(r Record) {
 	// if a later Flush of the drained buffer succeeds.
 	if _, err := t.bw.Write(append(line, '\n')); err != nil && t.werr == nil {
 		t.werr = err
+	}
+	if t.flushEvery > 0 {
+		t.sinceFlush++
+		if t.sinceFlush >= t.flushEvery {
+			t.sinceFlush = 0
+			if err := t.bw.Flush(); err != nil && t.werr == nil {
+				t.werr = err
+			}
+		}
 	}
 	t.mu.Unlock()
 }

@@ -165,3 +165,49 @@ func TestJSONLConcurrent(t *testing.T) {
 		}
 	}
 }
+
+func TestJSONLFlushEveryLeavesParseablePrefix(t *testing.T) {
+	// A crashed run never reaches Close; with FlushEvery, every complete
+	// record up to the last flush interval must already be on the
+	// underlying writer as whole, parseable lines.
+	var buf bytes.Buffer
+	tr := NewJSONL(&buf).FlushEvery(2)
+	for i := 0; i < 7; i++ {
+		tr.Event("cluster.superstep", Int("iteration", i))
+	}
+	// No Flush, no Close: simulate the crash.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d flushed lines, want 6 (7 records, flush every 2)", len(lines))
+	}
+	for i, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("flushed line %d is not valid JSON: %v (%q)", i, err, line)
+		}
+		if obj["name"] != "cluster.superstep" {
+			t.Fatalf("line %d name = %v", i, obj["name"])
+		}
+	}
+}
+
+func TestJSONLFlushEveryOne(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONL(&buf).FlushEvery(1)
+	sp := tr.Span("walk.run")
+	sp.End()
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Fatalf("record not flushed immediately: %q", buf.String())
+	}
+	tr.FlushEvery(0) // back to buffered
+	tr.Event("e")
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Fatalf("record flushed despite FlushEvery(0): %q", buf.String())
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("Close did not drain: %q", buf.String())
+	}
+}

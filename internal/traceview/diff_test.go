@@ -1,0 +1,105 @@
+package traceview
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const diffBaseline = `{"ts":"2026-08-06T10:00:00Z","type":"span","name":"walk.run","dur_us":1000}
+{"ts":"2026-08-06T10:00:00.0001Z","type":"event","name":"cluster.superstep","attrs":{"iteration":0,"machines":2,"time_us":100,"compute":[50,40],"comm":[20,10],"waiting":[0,10],"steps":[1,1],"edges":[0,0],"vertices":[0,0],"messages":[10,10]}}
+`
+
+// Candidate: sim time +50%, messages +100%, one extra span name.
+const diffCandidate = `{"ts":"2026-08-06T10:00:00Z","type":"span","name":"walk.run","dur_us":2000}
+{"ts":"2026-08-06T10:00:00.00005Z","type":"span","name":"walk.extra","dur_us":100}
+{"ts":"2026-08-06T10:00:00.0001Z","type":"event","name":"cluster.superstep","attrs":{"iteration":0,"machines":2,"time_us":150,"compute":[80,40],"comm":[20,10],"waiting":[0,10],"steps":[1,1],"edges":[0,0],"vertices":[0,0],"messages":[20,20]}}
+`
+
+func diffTraces(t *testing.T) *DiffReport {
+	t.Helper()
+	a := mustRead(t, diffBaseline)
+	b := mustRead(t, diffCandidate)
+	d, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiffMetrics(t *testing.T) {
+	d := diffTraces(t)
+	byName := map[string]DiffMetric{}
+	for _, m := range d.Metrics {
+		byName[m.Name] = m
+	}
+	st := byName["sim_time_us"]
+	if !st.Gate || st.A != 100 || st.B != 150 || st.DeltaPct() != 50 {
+		t.Fatalf("sim_time_us = %+v (delta %v)", st, st.DeltaPct())
+	}
+	mt := byName["messages_total"]
+	if mt.DeltaPct() != 100 {
+		t.Fatalf("messages_total delta = %v, want 100", mt.DeltaPct())
+	}
+	sp := byName["span:walk.run:wall_us"]
+	if sp.Gate {
+		t.Fatal("wall-clock span metric must not gate")
+	}
+	ex := byName["span:walk.extra:wall_us"]
+	if ex.A != 0 || ex.B != 100 || ex.DeltaPct() != 0 {
+		t.Fatalf("one-sided span metric = %+v (delta must be 0 when A=0)", ex)
+	}
+}
+
+func TestDiffExceedsGate(t *testing.T) {
+	d := diffTraces(t)
+	if !d.Exceeds(10) {
+		t.Fatal("50%% sim-time regression does not trip a 10%% gate")
+	}
+	if d.Exceeds(200) {
+		t.Fatal("gate trips above the worst regression")
+	}
+	if d.Exceeds(0) {
+		t.Fatal("pct=0 must disable the gate")
+	}
+	worst, ok := d.WorstGateRegression()
+	if !ok || worst.Name != "messages_total" {
+		t.Fatalf("worst regression = %+v (%v), want messages_total", worst, ok)
+	}
+}
+
+func TestDiffNoRegression(t *testing.T) {
+	a := mustRead(t, diffBaseline)
+	d, err := Diff(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Exceeds(0.0001) {
+		t.Fatal("identical traces trip the gate")
+	}
+	if _, ok := d.WorstGateRegression(); ok {
+		t.Fatal("identical traces report a worst regression")
+	}
+}
+
+func TestDiffWriteText(t *testing.T) {
+	d := diffTraces(t)
+	var buf bytes.Buffer
+	if err := d.WriteText(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FAIL") {
+		t.Fatalf("no FAIL marker above threshold:\n%s", out)
+	}
+	if !strings.Contains(out, "worst gated regression: messages_total +100.00%") {
+		t.Fatalf("missing worst-regression footer:\n%s", out)
+	}
+	buf.Reset()
+	if err := d.WriteText(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "FAIL") {
+		t.Fatal("FAIL marker printed with the gate disabled")
+	}
+}

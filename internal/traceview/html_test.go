@@ -1,0 +1,65 @@
+package traceview
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The HTML artifact must be self-contained, well-escaped, and carry both
+// charts for the fixture trace.
+func TestWriteHTMLFixture(t *testing.T) {
+	tr, err := ReadFile(filepath.Join("testdata", "sample.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"<svg",
+		"Span timeline",
+		"Run 1 — 2 machines, 2 supersteps",
+		"wait ratio 0.1500",
+		"bench.experiment",
+		"</html>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	if strings.Contains(out, "http://") || strings.Contains(out, "https://") {
+		t.Error("HTML references external resources; it must be self-contained")
+	}
+}
+
+// Span names are attacker-ish strings from the trace; they must be escaped.
+func TestWriteHTMLEscapesNames(t *testing.T) {
+	tr := mustRead(t, `{"ts":"2026-08-06T10:00:00Z","type":"span","name":"<script>alert(1)</script>","dur_us":100}
+`)
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>alert") {
+		t.Fatal("span name not HTML-escaped")
+	}
+	if !strings.Contains(buf.String(), "&lt;script&gt;") {
+		t.Fatal("escaped span name missing from output")
+	}
+}
+
+func TestWriteHTMLRealTrace(t *testing.T) {
+	tr, _ := tracedWalk(t, 9)
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "walk.run") {
+		t.Fatal("real-trace HTML missing walk.run span")
+	}
+}

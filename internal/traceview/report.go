@@ -1,0 +1,254 @@
+package traceview
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReportOptions tunes the terminal report.
+type ReportOptions struct {
+	// MaxSupersteps caps the per-run straggler table (0 = 16). The
+	// summary lines always cover the whole run.
+	MaxSupersteps int
+	// MaxTreeSpans caps the phase-tree listing (0 = 64).
+	MaxTreeSpans int
+}
+
+func (o ReportOptions) maxSupersteps() int {
+	if o.MaxSupersteps <= 0 {
+		return 16
+	}
+	return o.MaxSupersteps
+}
+
+func (o ReportOptions) maxTreeSpans() int {
+	if o.MaxTreeSpans <= 0 {
+		return 64
+	}
+	return o.MaxTreeSpans
+}
+
+// errWriter folds per-line error checks into one sticky error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err == nil {
+		_, e.err = fmt.Fprintf(e.w, format, args...)
+	}
+}
+
+// fmtUS renders a simulated-or-wall microsecond quantity with a readable
+// unit.
+func fmtUS(us float64) string {
+	switch {
+	case us >= 1e6:
+		return fmt.Sprintf("%.2fs", us/1e6)
+	case us >= 1e3:
+		return fmt.Sprintf("%.1fms", us/1e3)
+	default:
+		return fmt.Sprintf("%.1fus", us)
+	}
+}
+
+// bar renders v/max as a fixed-width ASCII bar.
+func bar(v, max float64, width int) string {
+	if max <= 0 || v < 0 {
+		return strings.Repeat(".", width)
+	}
+	n := int(v/max*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// WriteReport renders the full terminal report: trace summary, span
+// aggregates, phase tree, and — per run — straggler attribution, the
+// WaitRatio decomposition and the critical-path split.
+func WriteReport(w io.Writer, tr *Trace, opt ReportOptions) error {
+	ew := &errWriter{w: w}
+	writeSummary(ew, tr)
+	writeSpanTable(ew, tr)
+	writeTree(ew, tr, opt)
+	steps, err := Supersteps(tr)
+	if err != nil {
+		return err
+	}
+	if len(steps) == 0 {
+		ew.printf("\nNo cluster.superstep records: trace carries no BSP runs.\n")
+		return ew.err
+	}
+	for i, run := range GroupRuns(steps) {
+		writeRun(ew, i+1, run, opt)
+	}
+	return ew.err
+}
+
+func writeSummary(ew *errWriter, tr *Trace) {
+	spans, events, errs := 0, 0, 0
+	for _, r := range tr.Records {
+		switch r.Type {
+		case "span":
+			spans++
+		case "event":
+			events++
+		default:
+			errs++
+		}
+	}
+	ew.printf("TRACE SUMMARY\n")
+	ew.printf("  records %d  (spans %d, events %d, degraded %d)\n", len(tr.Records), spans, events, errs)
+	if start, end, ok := tr.Bounds(); ok {
+		ew.printf("  wall span %s\n", fmtUS(float64(end.Sub(start).Microseconds())))
+	}
+	if tr.Truncated {
+		ew.printf("  WARNING: final line torn (run crashed mid-write); analyzing the intact prefix\n")
+	}
+}
+
+func writeSpanTable(ew *errWriter, tr *Trace) {
+	sums := SummarizeSpans(tr)
+	if len(sums) == 0 {
+		return
+	}
+	ew.printf("\nSPANS BY NAME\n")
+	nameW := len("name")
+	for _, s := range sums {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	ew.printf("  %-*s  %6s  %10s  %10s\n", nameW, "name", "count", "total", "max")
+	for _, s := range sums {
+		ew.printf("  %-*s  %6d  %10s  %10s\n", nameW, s.Name, s.Count, fmtUS(s.TotalUS), fmtUS(s.MaxUS))
+	}
+}
+
+func writeTree(ew *errWriter, tr *Trace, opt ReportOptions) {
+	root := BuildTree(tr)
+	if len(root.Children) == 0 {
+		return
+	}
+	ew.printf("\nPHASE TREE\n")
+	shown, total := 0, 0
+	root.Walk(func(n *SpanNode, depth int) {
+		if n.Rec == nil {
+			return
+		}
+		total++
+		if shown >= opt.maxTreeSpans() {
+			return
+		}
+		shown++
+		ew.printf("  %s%s %s\n", strings.Repeat("  ", depth), n.Rec.Name, fmtUS(n.Rec.DurUS))
+	})
+	if total > shown {
+		ew.printf("  ... %d more spans elided (raise -tree-spans)\n", total-shown)
+	}
+}
+
+func writeRun(ew *errWriter, idx int, run []Superstep, opt ReportOptions) {
+	b := DecomposeWaitRatio(run)
+	ew.printf("\nRUN %d: %d machines, %d supersteps, sim time %s\n", idx, b.Machines, b.Supersteps, fmtUS(b.TotalTimeUS))
+	ew.printf("  wait ratio %.4f  (share of cluster capacity idle at barriers)\n", b.WaitRatio)
+	if b.Machines > 0 {
+		maxC := 0.0
+		for _, c := range b.Contribution {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		ew.printf("  per-machine contribution (terms sum to the wait ratio):\n")
+		for i, c := range b.Contribution {
+			ew.printf("    M%-2d %s %.4f  (idle %s)\n", i, bar(c, maxC, 20), c, fmtUS(b.WaitUS[i]))
+		}
+	}
+
+	writeStragglers(ew, run, opt)
+	writeCritPath(ew, run)
+}
+
+// WriteStragglers prints the straggler-attribution section for one run —
+// the `tracestat stragglers` subcommand.
+func WriteStragglers(w io.Writer, idx int, run []Superstep, opt ReportOptions) error {
+	if len(run) == 0 {
+		return nil
+	}
+	ew := &errWriter{w: w}
+	ew.printf("RUN %d: %d machines, %d supersteps\n", idx, run[0].Machines, len(run))
+	writeStragglers(ew, run, opt)
+	return ew.err
+}
+
+// WriteCritPath prints the critical-path section for one run — the
+// `tracestat critpath` subcommand.
+func WriteCritPath(w io.Writer, idx int, run []Superstep) error {
+	if len(run) == 0 {
+		return nil
+	}
+	ew := &errWriter{w: w}
+	ew.printf("RUN %d: %d machines, %d supersteps\n", idx, run[0].Machines, len(run))
+	writeCritPath(ew, run)
+	return ew.err
+}
+
+func writeStragglers(ew *errWriter, run []Superstep, opt ReportOptions) {
+	strag := Stragglers(run)
+	ew.printf("  straggler attribution (machine bounding each barrier, and its lead over the runner-up):\n")
+	ew.printf("    %5s  %8s %10s %10s  %8s %10s %10s\n", "iter", "compute", "time", "slack", "comm", "time", "slack")
+	shown := 0
+	for _, s := range strag {
+		if shown >= opt.maxSupersteps() {
+			ew.printf("    ... %d more supersteps elided (raise -supersteps)\n", len(strag)-shown)
+			break
+		}
+		shown++
+		ew.printf("    %5d  %8s %10s %10s  %8s %10s %10s\n",
+			s.Iteration,
+			fmt.Sprintf("M%d", s.ComputeMachine), fmtUS(s.ComputeUS), fmtUS(s.ComputeSlackUS),
+			fmt.Sprintf("M%d", s.CommMachine), fmtUS(s.CommUS), fmtUS(s.CommSlackUS))
+	}
+	// Aggregate: how often each machine bound a phase.
+	k := run[0].Machines
+	computeBound := make([]int, k)
+	commBound := make([]int, k)
+	for _, s := range strag {
+		if s.ComputeMachine >= 0 && s.ComputeMachine < k {
+			computeBound[s.ComputeMachine]++
+		}
+		if s.CommMachine >= 0 && s.CommMachine < k {
+			commBound[s.CommMachine]++
+		}
+	}
+	ew.printf("    bound-count by machine:")
+	for i := 0; i < k; i++ {
+		if computeBound[i] > 0 || commBound[i] > 0 {
+			ew.printf("  M%d compute:%d comm:%d", i, computeBound[i], commBound[i])
+		}
+	}
+	ew.printf("\n")
+}
+
+func writeCritPath(ew *errWriter, run []Superstep) {
+	cp := ComputeCriticalPath(run)
+	if cp.TotalUS <= 0 {
+		return
+	}
+	mode := "sequential phases"
+	if cp.Pipelined {
+		mode = "pipelined phases"
+	}
+	ew.printf("  critical path (%s): compute %s (%.1f%%)  comm %s (%.1f%%)  latency %s (%.1f%%)\n",
+		mode,
+		fmtUS(cp.ComputeUS), 100*cp.ComputeUS/cp.TotalUS,
+		fmtUS(cp.CommUS), 100*cp.CommUS/cp.TotalUS,
+		fmtUS(cp.LatencyUS), 100*cp.LatencyUS/cp.TotalUS)
+	domIdx, domUS, _ := argmaxSlack(cp.OnPathUS)
+	if domIdx >= 0 && domUS > 0 {
+		ew.printf("  dominant machine on path: M%d with %s (%.1f%% of sim time)\n", domIdx, fmtUS(domUS), 100*domUS/cp.TotalUS)
+	}
+}

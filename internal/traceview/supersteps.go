@@ -1,0 +1,264 @@
+package traceview
+
+import "fmt"
+
+// Superstep is one decoded "cluster.superstep" event — the IterationStats
+// the simulated cluster emitted for one BSP iteration.
+type Superstep struct {
+	Iteration int
+	Machines  int
+	TimeUS    float64
+	Compute   []float64 // per-machine compute time (simulated µs)
+	Comm      []float64 // per-machine communication time
+	Waiting   []float64 // per-machine barrier idle time
+	Steps     []int64
+	Edges     []int64
+	Vertices  []int64
+	Messages  []int64
+}
+
+// Supersteps decodes every cluster.superstep event in trace order. A
+// record missing the per-machine arrays is an error: it means the trace
+// came from an incompatible writer, not from PR-1's cluster.
+func Supersteps(tr *Trace) ([]Superstep, error) {
+	var out []Superstep
+	for _, r := range tr.Events("cluster.superstep") {
+		st, err := decodeSuperstep(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+func decodeSuperstep(r *Record) (Superstep, error) {
+	st := Superstep{}
+	var ok bool
+	if st.Iteration, ok = r.Int("iteration"); !ok {
+		return st, fmt.Errorf("traceview: superstep record missing iteration attr")
+	}
+	if st.Machines, ok = r.Int("machines"); !ok {
+		return st, fmt.Errorf("traceview: superstep %d missing machines attr", st.Iteration)
+	}
+	if st.TimeUS, ok = r.Float("time_us"); !ok {
+		return st, fmt.Errorf("traceview: superstep %d missing time_us attr", st.Iteration)
+	}
+	for _, f := range []struct {
+		key string
+		dst *[]float64
+	}{{"compute", &st.Compute}, {"comm", &st.Comm}, {"waiting", &st.Waiting}} {
+		v, ok := r.Floats(f.key)
+		if !ok || len(v) != st.Machines {
+			return st, fmt.Errorf("traceview: superstep %d: bad %s array (want %d machines)", st.Iteration, f.key, st.Machines)
+		}
+		*f.dst = v
+	}
+	for _, f := range []struct {
+		key string
+		dst *[]int64
+	}{{"steps", &st.Steps}, {"edges", &st.Edges}, {"vertices", &st.Vertices}, {"messages", &st.Messages}} {
+		v, ok := r.Ints(f.key)
+		if !ok || len(v) != st.Machines {
+			return st, fmt.Errorf("traceview: superstep %d: bad %s array (want %d machines)", st.Iteration, f.key, st.Machines)
+		}
+		*f.dst = v
+	}
+	return st, nil
+}
+
+// GroupRuns splits a superstep stream into runs. The cluster numbers
+// supersteps monotonically per Cluster instance, so a fresh engine (new
+// experiment, new scheme) restarts or rewinds the iteration counter; a
+// machine-count change likewise implies a different cluster.
+func GroupRuns(steps []Superstep) [][]Superstep {
+	var runs [][]Superstep
+	for i, st := range steps {
+		if i == 0 || st.Iteration <= steps[i-1].Iteration || st.Machines != steps[i-1].Machines {
+			runs = append(runs, nil)
+		}
+		runs[len(runs)-1] = append(runs[len(runs)-1], st)
+	}
+	return runs
+}
+
+// Straggler attributes one superstep's two BSP phases: which machine
+// bounded each barrier, and by how much.
+type Straggler struct {
+	Iteration int
+	// ComputeMachine bounded the compute phase with ComputeUS of work;
+	// every other machine waited for it. ComputeSlackUS is its lead over
+	// the runner-up — the amount the barrier would shrink if only this
+	// machine were faster.
+	ComputeMachine int
+	ComputeUS      float64
+	ComputeSlackUS float64
+	// The same attribution for the communication phase.
+	CommMachine int
+	CommUS      float64
+	CommSlackUS float64
+}
+
+// Stragglers attributes every superstep of one run.
+func Stragglers(run []Superstep) []Straggler {
+	out := make([]Straggler, 0, len(run))
+	for _, st := range run {
+		s := Straggler{Iteration: st.Iteration}
+		s.ComputeMachine, s.ComputeUS, s.ComputeSlackUS = argmaxSlack(st.Compute)
+		s.CommMachine, s.CommUS, s.CommSlackUS = argmaxSlack(st.Comm)
+		out = append(out, s)
+	}
+	return out
+}
+
+// argmaxSlack returns the index and value of the maximum and its lead over
+// the second-largest value. Ties resolve to the lowest index, so reports
+// are deterministic.
+func argmaxSlack(xs []float64) (idx int, max, slack float64) {
+	if len(xs) == 0 {
+		return -1, 0, 0
+	}
+	second := 0.0
+	for i, x := range xs {
+		if i == 0 || x > max {
+			if i > 0 {
+				second = max
+			}
+			idx, max = i, x
+		} else if i == 1 || x > second {
+			second = x
+		}
+	}
+	if len(xs) == 1 {
+		return idx, max, 0
+	}
+	return idx, max, max - second
+}
+
+// WaitBreakdown decomposes the run's waiting-time ratio (the paper's
+// Fig 13 metric) into per-machine contributions.
+type WaitBreakdown struct {
+	Machines    int
+	Supersteps  int
+	TotalTimeUS float64
+	// WaitUS[i] is machine i's total barrier idle time.
+	WaitUS []float64
+	// Contribution[i] = WaitUS[i] / (TotalTimeUS · Machines). The terms
+	// sum to WaitRatio exactly: the decomposition is a partition of the
+	// wasted cluster capacity, not an approximation.
+	Contribution []float64
+	// WaitRatio = Σ WaitUS / (TotalTimeUS · Machines), matching
+	// cluster.RunStats.WaitRatio for the same run.
+	WaitRatio float64
+}
+
+// DecomposeWaitRatio computes the per-machine WaitRatio breakdown of one
+// run. A run with zero machines, zero supersteps or zero total time has a
+// zero breakdown, mirroring RunStats.WaitRatio's degenerate cases.
+func DecomposeWaitRatio(run []Superstep) WaitBreakdown {
+	if len(run) == 0 || run[0].Machines == 0 {
+		return WaitBreakdown{}
+	}
+	k := run[0].Machines
+	b := WaitBreakdown{
+		Machines:     k,
+		Supersteps:   len(run),
+		WaitUS:       make([]float64, k),
+		Contribution: make([]float64, k),
+	}
+	for _, st := range run {
+		b.TotalTimeUS += st.TimeUS
+		for i, w := range st.Waiting {
+			b.WaitUS[i] += w
+		}
+	}
+	if b.TotalTimeUS == 0 {
+		return b
+	}
+	capacity := b.TotalTimeUS * float64(k)
+	for i, w := range b.WaitUS {
+		b.Contribution[i] = w / capacity
+		b.WaitRatio += b.Contribution[i]
+	}
+	return b
+}
+
+// CritSegment is one leg of a run's critical path.
+type CritSegment struct {
+	Iteration int
+	Phase     string // "compute", "comm" or "latency"
+	Machine   int    // -1 for latency (no machine is responsible)
+	DurUS     float64
+}
+
+// CriticalPath is the chain of phase-bounding machines whose durations sum
+// to the run's simulated wall time: per BSP iteration, the slowest
+// machine's compute phase, the slowest machine's communication phase, and
+// the fixed barrier latency. Shrinking anything off this path cannot speed
+// the run up; the per-phase shares say which lever matters.
+type CriticalPath struct {
+	Segments  []CritSegment
+	ComputeUS float64
+	CommUS    float64
+	LatencyUS float64
+	TotalUS   float64
+	// OnPathUS[i] is machine i's time on the critical path; the machine
+	// with the largest share is the run's dominant straggler.
+	OnPathUS []float64
+	// Pipelined reports that the cost model overlapped compute and comm
+	// (iteration time = max of the phases, not their sum); only the
+	// dominant phase is on the path then.
+	Pipelined bool
+}
+
+// ComputeCriticalPath derives the critical path of one run. The cluster's
+// execution mode is inferred per the cost model: when an iteration's time
+// is at least maxCompute+maxComm the residual is barrier latency
+// (sequential phases); when it is smaller the phases overlapped
+// (CostModel.Pipelined) and only the dominant one bounds the iteration.
+func ComputeCriticalPath(run []Superstep) CriticalPath {
+	cp := CriticalPath{}
+	if len(run) == 0 {
+		return cp
+	}
+	cp.OnPathUS = make([]float64, run[0].Machines)
+	for _, st := range run {
+		cp.TotalUS += st.TimeUS
+		cm, cUS, _ := argmaxSlack(st.Compute)
+		mm, mUS, _ := argmaxSlack(st.Comm)
+		if st.TimeUS+1e-9 < cUS+mUS {
+			// Pipelined: the iteration finished before the phase sum —
+			// compute and comm overlapped, the longer phase bounds it.
+			cp.Pipelined = true
+			phase, machine, dur := "compute", cm, cUS
+			if mUS > cUS {
+				phase, machine, dur = "comm", mm, mUS
+			}
+			cp.add(st.Iteration, phase, machine, dur)
+			cp.add(st.Iteration, "latency", -1, st.TimeUS-dur)
+			continue
+		}
+		cp.add(st.Iteration, "compute", cm, cUS)
+		cp.add(st.Iteration, "comm", mm, mUS)
+		cp.add(st.Iteration, "latency", -1, st.TimeUS-cUS-mUS)
+	}
+	return cp
+}
+
+func (cp *CriticalPath) add(iter int, phase string, machine int, dur float64) {
+	if dur <= 0 {
+		return
+	}
+	cp.Segments = append(cp.Segments, CritSegment{Iteration: iter, Phase: phase, Machine: machine, DurUS: dur})
+	switch phase {
+	case "compute":
+		cp.ComputeUS += dur
+	case "comm":
+		cp.CommUS += dur
+	default:
+		cp.LatencyUS += dur
+	}
+	if machine >= 0 && machine < len(cp.OnPathUS) {
+		cp.OnPathUS[machine] += dur
+	}
+}

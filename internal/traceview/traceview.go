@@ -1,0 +1,216 @@
+// Package traceview is the read/analyze half of the repo's observability
+// story: internal/telemetry writes JSONL traces, traceview consumes them.
+//
+// It parses the JSONL schema back into typed records, reconstructs span
+// nesting from wall-clock containment, decodes the per-superstep
+// IterationStats the simulated cluster emits, and derives the quantities
+// the paper's evaluation asks about — which machine bounds each BSP
+// barrier (straggler attribution), how each machine contributes to the
+// waiting-time ratio of Fig 13, and where the run's critical path spends
+// its time. cmd/tracestat is the CLI over this package; cmd/bench's
+// regression gate diffs two traces through it.
+package traceview
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+)
+
+// Record is one parsed trace line.
+type Record struct {
+	Time  time.Time
+	Type  string // "span", "event" or "error" (a degraded unencodable record)
+	Name  string
+	DurUS float64 // spans only
+	Attrs map[string]any
+}
+
+// End returns the span's end time (its start time for events).
+func (r *Record) End() time.Time {
+	return r.Time.Add(time.Duration(r.DurUS * float64(time.Microsecond)))
+}
+
+// Float returns the named attribute as a float64 (JSON numbers decode to
+// float64), with ok reporting presence.
+func (r *Record) Float(key string) (float64, bool) {
+	v, ok := r.Attrs[key].(float64)
+	return v, ok
+}
+
+// Int returns the named numeric attribute truncated to int.
+func (r *Record) Int(key string) (int, bool) {
+	v, ok := r.Float(key)
+	return int(v), ok
+}
+
+// Str returns the named string attribute.
+func (r *Record) Str(key string) (string, bool) {
+	v, ok := r.Attrs[key].(string)
+	return v, ok
+}
+
+// Floats returns the named attribute as a float slice (JSON arrays decode
+// to []any; non-numeric elements fail the decode).
+func (r *Record) Floats(key string) ([]float64, bool) {
+	raw, ok := r.Attrs[key].([]any)
+	if !ok {
+		return nil, false
+	}
+	out := make([]float64, len(raw))
+	for i, e := range raw {
+		f, ok := e.(float64)
+		if !ok {
+			return nil, false
+		}
+		out[i] = f
+	}
+	return out, true
+}
+
+// Ints returns the named attribute as an int64 slice.
+func (r *Record) Ints(key string) ([]int64, bool) {
+	fs, ok := r.Floats(key)
+	if !ok {
+		return nil, false
+	}
+	out := make([]int64, len(fs))
+	for i, f := range fs {
+		out[i] = int64(f)
+	}
+	return out, true
+}
+
+// Trace is a fully parsed JSONL trace.
+type Trace struct {
+	Records []Record
+	// Truncated reports that the final line was torn — the writing
+	// process died mid-write (telemetry.JSONL writes whole lines, so
+	// only the last line of a crashed run can be damaged). The parsed
+	// prefix is complete and usable.
+	Truncated bool
+}
+
+// Spans returns the span records with the given name, in file order.
+func (t *Trace) Spans(name string) []*Record { return t.filter("span", name) }
+
+// Events returns the event records with the given name, in file order.
+func (t *Trace) Events(name string) []*Record { return t.filter("event", name) }
+
+func (t *Trace) filter(typ, name string) []*Record {
+	var out []*Record
+	for i := range t.Records {
+		r := &t.Records[i]
+		if r.Type == typ && r.Name == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Bounds returns the earliest start and latest end across all records (and
+// false for an empty trace).
+func (t *Trace) Bounds() (start, end time.Time, ok bool) {
+	for i := range t.Records {
+		r := &t.Records[i]
+		if !ok || r.Time.Before(start) {
+			start = r.Time
+		}
+		if e := r.End(); !ok || e.After(end) {
+			end = e
+		}
+		ok = true
+	}
+	return start, end, ok
+}
+
+// jsonRecord mirrors the telemetry.JSONL wire shape.
+type jsonRecord struct {
+	TS    string         `json:"ts"`
+	Type  string         `json:"type"`
+	Name  string         `json:"name"`
+	DurUS *float64       `json:"dur_us"`
+	Attrs map[string]any `json:"attrs"`
+}
+
+// maxLine bounds one trace line; the widest real lines are superstep
+// records with per-machine arrays, far below this.
+const maxLine = 16 << 20
+
+// Read parses a JSONL trace. A damaged or incomplete final line (a run
+// that crashed mid-write) is tolerated and flagged via Trace.Truncated;
+// damage anywhere earlier is a hard error, since silently skipping
+// interior records would skew every derived statistic.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	tr := &Trace{}
+	type bad struct {
+		line int
+		err  error
+	}
+	var pending *bad
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if pending != nil {
+			return nil, fmt.Errorf("traceview: line %d: %w (not the final line, refusing to skip)", pending.line, pending.err)
+		}
+		rec, err := parseLine(line)
+		if err != nil {
+			pending = &bad{lineNo, err}
+			continue
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traceview: read: %w", err)
+	}
+	if pending != nil {
+		tr.Truncated = true
+	}
+	return tr, nil
+}
+
+// ReadFile parses the JSONL trace at path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+func parseLine(line string) (Record, error) {
+	var jr jsonRecord
+	if err := json.Unmarshal([]byte(line), &jr); err != nil {
+		return Record{}, err
+	}
+	ts, err := time.Parse(time.RFC3339Nano, jr.TS)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad ts %q: %w", jr.TS, err)
+	}
+	switch jr.Type {
+	case "span", "event", "error":
+	default:
+		return Record{}, fmt.Errorf("unknown record type %q", jr.Type)
+	}
+	rec := Record{Time: ts, Type: jr.Type, Name: jr.Name, Attrs: jr.Attrs}
+	if jr.DurUS != nil {
+		rec.DurUS = *jr.DurUS
+	}
+	return rec, nil
+}

@@ -1,0 +1,112 @@
+package traceview
+
+import "sort"
+
+// SpanNode is one node of the reconstructed phase tree. The JSONL schema
+// records spans flat (each line is one closed span), so nesting is rebuilt
+// from wall-clock containment: a span is a child of the innermost span
+// whose [start, end] interval contains it. That is exactly the call
+// structure for the repo's single-process tracers, where nested phases
+// (bpart.partition → bpart.layer → bpart.refine) literally nest in time.
+type SpanNode struct {
+	Rec      *Record // nil for the synthetic root
+	Children []*SpanNode
+}
+
+// DurUS returns the node's span duration (0 for the root).
+func (n *SpanNode) DurUS() float64 {
+	if n.Rec == nil {
+		return 0
+	}
+	return n.Rec.DurUS
+}
+
+// Walk visits the tree depth-first, reporting each node's depth (root =
+// -1, top-level spans = 0).
+func (n *SpanNode) Walk(fn func(node *SpanNode, depth int)) { n.walk(fn, -1) }
+
+func (n *SpanNode) walk(fn func(*SpanNode, int), depth int) {
+	fn(n, depth)
+	for _, c := range n.Children {
+		c.walk(fn, depth+1)
+	}
+}
+
+// BuildTree reconstructs the span tree of a trace. Spans are sorted by
+// start time (earlier first; ties: longer span first, so the container
+// precedes the contained), then stacked: each span becomes a child of the
+// deepest open span that still contains it. Concurrent sibling spans
+// overlap without containing each other and end up as siblings, which is
+// the honest rendering — the schema has no goroutine IDs to do better.
+func BuildTree(tr *Trace) *SpanNode {
+	var spans []*Record
+	for i := range tr.Records {
+		if tr.Records[i].Type == "span" {
+			spans = append(spans, &tr.Records[i])
+		}
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if !spans[i].Time.Equal(spans[j].Time) {
+			return spans[i].Time.Before(spans[j].Time)
+		}
+		return spans[i].DurUS > spans[j].DurUS
+	})
+	root := &SpanNode{}
+	stack := []*SpanNode{root}
+	for _, sp := range spans {
+		node := &SpanNode{Rec: sp}
+		// Pop spans that ended before this one starts. The containment
+		// test is on end time: equal-start spans were ordered so the
+		// longer (containing) one is already on the stack.
+		for len(stack) > 1 {
+			top := stack[len(stack)-1]
+			if sp.Time.Before(top.Rec.End()) && !sp.End().After(top.Rec.End()) {
+				break
+			}
+			stack = stack[:len(stack)-1]
+		}
+		parent := stack[len(stack)-1]
+		parent.Children = append(parent.Children, node)
+		stack = append(stack, node)
+	}
+	return root
+}
+
+// NameSummary aggregates all spans sharing a name.
+type NameSummary struct {
+	Name    string
+	Count   int
+	TotalUS float64
+	MaxUS   float64
+}
+
+// SummarizeSpans aggregates span durations by name, sorted by total
+// duration descending (ties by name, so output is deterministic).
+func SummarizeSpans(tr *Trace) []NameSummary {
+	idx := map[string]int{}
+	var out []NameSummary
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		if r.Type != "span" {
+			continue
+		}
+		j, ok := idx[r.Name]
+		if !ok {
+			j = len(out)
+			idx[r.Name] = j
+			out = append(out, NameSummary{Name: r.Name})
+		}
+		out[j].Count++
+		out[j].TotalUS += r.DurUS
+		if r.DurUS > out[j].MaxUS {
+			out[j].MaxUS = r.DurUS
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalUS != out[j].TotalUS {
+			return out[i].TotalUS > out[j].TotalUS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,100 @@
+package traceview
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustRead(t *testing.T, lines string) *Trace {
+	t.Helper()
+	tr, err := Read(strings.NewReader(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// Nesting is rebuilt from wall-clock containment: a contained span becomes
+// a child, an overlapping-but-not-contained span a sibling.
+func TestBuildTreeContainment(t *testing.T) {
+	tr := mustRead(t, `{"ts":"2026-08-06T10:00:00Z","type":"span","name":"outer","dur_us":1000}
+{"ts":"2026-08-06T10:00:00.0001Z","type":"span","name":"mid","dur_us":500}
+{"ts":"2026-08-06T10:00:00.00015Z","type":"span","name":"inner","dur_us":100}
+{"ts":"2026-08-06T10:00:00.0007Z","type":"span","name":"tail","dur_us":200}
+{"ts":"2026-08-06T10:00:00.002Z","type":"span","name":"later","dur_us":100}
+`)
+	root := BuildTree(tr)
+	if len(root.Children) != 2 {
+		t.Fatalf("got %d top-level spans, want 2 (outer, later)", len(root.Children))
+	}
+	outer := root.Children[0]
+	if outer.Rec.Name != "outer" || len(outer.Children) != 2 {
+		t.Fatalf("outer = %q with %d children, want outer with 2 (mid, tail)", outer.Rec.Name, len(outer.Children))
+	}
+	mid := outer.Children[0]
+	if mid.Rec.Name != "mid" || len(mid.Children) != 1 || mid.Children[0].Rec.Name != "inner" {
+		t.Fatalf("mid subtree wrong: %q with %d children", mid.Rec.Name, len(mid.Children))
+	}
+	if outer.Children[1].Rec.Name != "tail" {
+		t.Fatalf("second child of outer = %q, want tail", outer.Children[1].Rec.Name)
+	}
+	if root.Children[1].Rec.Name != "later" {
+		t.Fatalf("second top-level span = %q, want later", root.Children[1].Rec.Name)
+	}
+}
+
+// Equal-start spans: the longer one is the container.
+func TestBuildTreeEqualStart(t *testing.T) {
+	tr := mustRead(t, `{"ts":"2026-08-06T10:00:00Z","type":"span","name":"short","dur_us":100}
+{"ts":"2026-08-06T10:00:00Z","type":"span","name":"long","dur_us":1000}
+`)
+	root := BuildTree(tr)
+	if len(root.Children) != 1 || root.Children[0].Rec.Name != "long" {
+		t.Fatalf("top level = %v", root.Children)
+	}
+	if len(root.Children[0].Children) != 1 || root.Children[0].Children[0].Rec.Name != "short" {
+		t.Fatal("short span not nested under the equal-start longer span")
+	}
+}
+
+// Walk must report depth 0 for top-level spans and descend in order.
+func TestWalkDepths(t *testing.T) {
+	tr, err := ReadFile(filepath.Join("testdata", "sample.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	var depths []int
+	BuildTree(tr).Walk(func(n *SpanNode, depth int) {
+		if n.Rec == nil {
+			return
+		}
+		names = append(names, n.Rec.Name)
+		depths = append(depths, depth)
+	})
+	if len(names) != 2 || names[0] != "bench.experiment" || names[1] != "walk.run" {
+		t.Fatalf("walk order = %v", names)
+	}
+	if depths[0] != 0 || depths[1] != 1 {
+		t.Fatalf("walk depths = %v", depths)
+	}
+}
+
+func TestSummarizeSpans(t *testing.T) {
+	tr := mustRead(t, `{"ts":"2026-08-06T10:00:00Z","type":"span","name":"a","dur_us":100}
+{"ts":"2026-08-06T10:00:01Z","type":"span","name":"b","dur_us":400}
+{"ts":"2026-08-06T10:00:02Z","type":"span","name":"a","dur_us":200}
+{"ts":"2026-08-06T10:00:03Z","type":"event","name":"a"}
+`)
+	sums := SummarizeSpans(tr)
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries, want 2", len(sums))
+	}
+	if sums[0].Name != "b" || sums[0].TotalUS != 400 {
+		t.Fatalf("first summary = %+v, want b (largest total)", sums[0])
+	}
+	if sums[1].Name != "a" || sums[1].Count != 2 || sums[1].TotalUS != 300 || sums[1].MaxUS != 200 {
+		t.Fatalf("a summary = %+v", sums[1])
+	}
+}

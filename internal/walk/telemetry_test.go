@@ -50,3 +50,28 @@ func TestRunTelemetry(t *testing.T) {
 		t.Fatalf("cluster_supersteps_total = %d, want %d", got, len(steps))
 	}
 }
+
+// Histograms: a traced run records per-pair transfer batch sizes and the
+// run's simulated time; batch observations must sum to MessageWalks.
+func TestRunHistograms(t *testing.T) {
+	g := gen.Ring(200)
+	e := newEngine(t, g, 4)
+	reg := telemetry.NewRegistry()
+	e.SetTelemetry(nil, reg)
+
+	res, err := e.Run(Config{Kind: Simple, WalkersPerVertex: 2, Steps: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bh := reg.Histogram("walk_transfer_batch_walkers")
+	if got := int64(bh.Sum()); got != res.MessageWalks {
+		t.Fatalf("batch sum = %d, want MessageWalks %d", got, res.MessageWalks)
+	}
+	if res.MessageWalks > 0 && bh.Count() == 0 {
+		t.Fatal("transfers happened but no batch observed")
+	}
+	rh := reg.Histogram("walk_run_sim_time_us")
+	if rh.Count() != 1 || rh.Sum() != res.Stats.TotalTime() {
+		t.Fatalf("run time histogram = (%d, %v), want (1, %v)", rh.Count(), rh.Sum(), res.Stats.TotalTime())
+	}
+}

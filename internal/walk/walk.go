@@ -155,8 +155,9 @@ type Engine struct {
 	g     *graph.Graph
 	cl    *cluster.Cluster
 	owned [][]graph.VertexID
-	alias *aliasCache      // per-vertex transition tables for BiasedWalk
-	tel   telemetry.Tracer // run-level spans; supersteps come from cl
+	alias *aliasCache         // per-vertex transition tables for BiasedWalk
+	tel   telemetry.Tracer    // run-level spans; supersteps come from cl
+	reg   *telemetry.Registry // run-level histograms; superstep metrics come from cl
 }
 
 // New builds a walk engine for g with the given vertex→machine assignment.
@@ -187,6 +188,7 @@ func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
 // the full machine-level timeline of Figs 12/13.
 func (e *Engine) SetTelemetry(tr telemetry.Tracer, reg *telemetry.Registry) {
 	e.tel = telemetry.Safe(tr)
+	e.reg = reg
 	e.cl.SetTelemetry(tr, reg)
 }
 
@@ -340,8 +342,14 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 			w.Vertices[m] = verts
 		})
 		// Merge phase: deliver outboxes.
+		batchH := e.reg.Histogram("walk_transfer_batch_walkers")
 		for from := 0; from < k; from++ {
 			for to := 0; to < k; to++ {
+				if n := len(outbox[from][to]); n > 0 {
+					// One machine-pair batch per superstep — the unit a
+					// real system would pack into one network message.
+					batchH.Observe(float64(n))
+				}
 				res.Traffic[from][to] += int64(len(outbox[from][to]))
 				for _, wk := range outbox[from][to] {
 					if cfg.TrackVisits {
@@ -372,6 +380,7 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 		}
 	}
 	res.Finished = int64(totalWalkers)
+	e.reg.Histogram("walk_run_sim_time_us").Observe(res.Stats.TotalTime())
 	sp.End(
 		telemetry.Int("iterations", len(res.Stats.Iterations)),
 		telemetry.Int64("total_steps", res.TotalSteps),
