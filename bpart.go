@@ -29,6 +29,7 @@ import (
 	"bpart/internal/graph"
 	"bpart/internal/metrics"
 	"bpart/internal/multilevel"
+	"bpart/internal/partaudit"
 	"bpart/internal/partition"
 	"bpart/internal/telemetry"
 	"bpart/internal/vcut"
@@ -221,6 +222,45 @@ func Instrument(component any, tr Tracer, m *Metrics) bool {
 // registry — mount it behind a diagnostics listener.
 func DebugMux(m *Metrics) *http.ServeMux { return telemetry.DebugMux(m) }
 
+// ---- partition decision audit ----
+
+// AuditConfig tunes the partition decision audit: decision sampling rate,
+// hub always-sample count, timeline window size and flush cadence. The
+// zero value selects the defaults.
+type AuditConfig = partaudit.Config
+
+// Auditor writes the JSONL audit log of one partitioning run: sampled
+// placement decisions with their full score decomposition, windowed
+// quality snapshots, and the combining audit tree. A nil *Auditor is a
+// valid no-op sink everywhere.
+type Auditor = partaudit.Auditor
+
+// AuditLog is a parsed audit log (see ReadAuditLog).
+type AuditLog = partaudit.Log
+
+// NewAuditor returns an Auditor writing JSON lines to w. Call Flush (or
+// Close) when done; it surfaces the first write error.
+func NewAuditor(w io.Writer, cfg AuditConfig) (*Auditor, error) { return partaudit.New(w, cfg) }
+
+// Audit attaches an audit sink to any partitioner that supports decision
+// auditing (BPart, and the Fennel/LDG instances returned by NewScheme).
+// It reports whether the component accepted the sink; a nil Auditor
+// detaches. Auditing is pure observation: an audited run's assignment is
+// identical to an unaudited one.
+func Audit(component any, a *Auditor) bool {
+	s, ok := component.(partaudit.Auditable)
+	if !ok {
+		return false
+	}
+	s.SetAudit(a)
+	return true
+}
+
+// ReadAuditLog parses a JSONL audit log. A torn final line (crashed run)
+// is tolerated and flagged via AuditLog.Truncated; interior damage is a
+// hard error.
+func ReadAuditLog(r io.Reader) (*AuditLog, error) { return partaudit.ReadLog(r) }
+
 // ---- vertex-cut partitioning (the §5 alternative family) ----
 
 // EdgeAssignment maps every arc to a part; vertices whose arcs span parts
@@ -234,16 +274,17 @@ type VertexCutPartitioner = vcut.Partitioner
 // counts and the replication factor.
 type VertexCutReport = vcut.Report
 
-// Vertex-cut schemes.
+// Vertex-cut schemes. All constructors return pointers so Instrument can
+// attach telemetry (SetTelemetry has a pointer receiver).
 var (
 	// NewRandomEdgeCut hashes each edge to a part.
-	NewRandomEdgeCut = func() VertexCutPartitioner { return vcut.RandomEdge{} }
+	NewRandomEdgeCut = func() VertexCutPartitioner { return &vcut.RandomEdge{} }
 	// NewDBH hashes each edge on its lower-degree endpoint.
-	NewDBH = func() VertexCutPartitioner { return vcut.DBH{} }
+	NewDBH = func() VertexCutPartitioner { return &vcut.DBH{} }
 	// NewGreedyCut is PowerGraph's streaming placement.
-	NewGreedyCut = func() VertexCutPartitioner { return vcut.Greedy{} }
+	NewGreedyCut = func() VertexCutPartitioner { return &vcut.Greedy{} }
 	// NewHDRF is High-Degree Replicated First.
-	NewHDRF = func() VertexCutPartitioner { return vcut.HDRF{} }
+	NewHDRF = func() VertexCutPartitioner { return &vcut.HDRF{} }
 )
 
 // EvaluateVertexCut computes the quality report of an edge assignment.

@@ -45,6 +45,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each experiment as CSV into this directory")
 	tracePath := flag.String("trace", "", "write a JSONL trace (one span per experiment) to this file")
 	jsonPath := flag.String("json", "", "write a machine-readable BENCH artifact (schema in EXPERIMENTS.md) to this file, e.g. BENCH_bpart.json")
+	auditPath := flag.String("audit", "", "also run one audited BPart partition (twitter-sim at -scale, k=8) and write its decision audit log (JSONL, see cmd/partstat) here")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /metrics and /debug/vars on this address")
 	flag.Var(&ids, "id", "experiment ID to run (repeatable; default all)")
 	flag.Parse()
@@ -117,6 +118,14 @@ func main() {
 		}
 	}
 	fmt.Printf("# total %.1fs\n", time.Since(grand).Seconds())
+	if *auditPath != "" {
+		if err := runAudited(*auditPath, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: audit:", err)
+			failed++
+		} else {
+			fmt.Printf("# wrote %s\n", *auditPath)
+		}
+	}
 	if *jsonPath != "" {
 		if err := artifact.Collect(opt, reg); err != nil {
 			fmt.Fprintln(os.Stderr, "bench: artifact:", err)
@@ -131,6 +140,39 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runAudited performs one fully audited BPart partition of the paper's
+// main dataset and writes the decision audit log — the artifact the CI
+// observability job feeds to cmd/partstat.
+func runAudited(path string, scale float64) error {
+	g, err := bpart.Preset(bpart.TwitterSim, scale)
+	if err != nil {
+		return err
+	}
+	p, err := bpart.New(bpart.Config{})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	aud, err := bpart.NewAuditor(f, bpart.AuditConfig{})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	bpart.Audit(p, aud)
+	if _, err := p.Partition(g, 8); err != nil {
+		f.Close()
+		return err
+	}
+	if err := aud.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeCSV(dir, id string, tbl *bpart.ExperimentTable) error {

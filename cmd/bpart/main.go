@@ -16,10 +16,12 @@
 //
 // Observability: -trace out.jsonl streams structured spans (one per BPart
 // combining layer, streaming pass and refine pass, plus one record per BSP
-// superstep when -timeline runs) as JSON lines; -metrics prints the
-// counter/gauge registry in Prometheus text format on exit; -pprof ADDR
-// serves /debug/pprof/*, /metrics and /debug/vars on ADDR for the run's
-// duration.
+// superstep when -timeline runs) as JSON lines; -audit out.jsonl writes
+// the partition decision audit log (sampled score decompositions, the
+// streaming quality timeline and the combining audit tree — feed it to
+// cmd/partstat); -metrics prints the counter/gauge registry in Prometheus
+// text format on exit; -pprof ADDR serves /debug/pprof/*, /metrics and
+// /debug/vars on ADDR for the run's duration.
 package main
 
 import (
@@ -46,6 +48,7 @@ func main() {
 		evalPath  = flag.String("eval", "", "evaluate an existing assignment file instead of partitioning")
 		timeline  = flag.String("timeline", "", "run a 5|V|-walker random walk on the partition and write the per-machine BSP timeline CSV here")
 		tracePath = flag.String("trace", "", "write a JSONL span/event trace of the run to this file")
+		auditPath = flag.String("audit", "", "write the partition decision audit log (JSONL, see cmd/partstat) to this file")
 		metrics   = flag.Bool("metrics", false, "print telemetry counters (Prometheus text format) on exit")
 		pprofAddr = flag.String("pprof", "", "serve /debug/pprof, /metrics and /debug/vars on this address (e.g. localhost:6060)")
 	)
@@ -86,6 +89,7 @@ func main() {
 		for _, p := range []bpart.VertexCutPartitioner{
 			bpart.NewRandomEdgeCut(), bpart.NewDBH(), bpart.NewGreedyCut(), bpart.NewHDRF(),
 		} {
+			bpart.Instrument(p, tel.tracer, tel.reg)
 			ea, err := p.Partition(g, *k)
 			if err != nil {
 				fatal(err)
@@ -118,6 +122,26 @@ func main() {
 		fatal(err)
 	}
 	bpart.Instrument(p, tel.tracer, tel.reg)
+	if *auditPath != "" {
+		f, err := os.Create(*auditPath)
+		if err != nil {
+			fatal(err)
+		}
+		aud, err := bpart.NewAuditor(f, bpart.AuditConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		if !bpart.Audit(p, aud) {
+			fatal(fmt.Errorf("scheme %s does not support decision auditing (BPart, Fennel and LDG do)", *scheme))
+		}
+		defer func() {
+			if err := aud.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "bpart: audit flush:", err)
+			}
+			f.Close()
+			fmt.Printf("audit log written to %s\n", *auditPath)
+		}()
+	}
 	start := time.Now()
 	a, err := p.Partition(g, *k)
 	if err != nil {

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bpart/internal/core"
+	"bpart/internal/gen"
+	"bpart/internal/partaudit"
+)
+
+// auditFile writes one audited BPart run to a temp file and returns its
+// path plus an always-sampled vertex (stream position 0 of layer 1).
+func auditFile(t *testing.T) (path string, sampledVertex int) {
+	t.Helper()
+	g, err := gen.ChungLu(gen.Config{
+		NumVertices: 2000, AvgDegree: 10, Skew: 0.75, Locality: 0.5, Window: 64, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path = filepath.Join(t.TempDir(), "audit.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud, err := partaudit.New(f, partaudit.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.New(core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetAudit(aud)
+	if _, err := b.Partition(g, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := aud.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log, err := partaudit.ReadLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Decisions) == 0 {
+		t.Fatal("audited run sampled no decisions")
+	}
+	return path, log.Decisions[0].Vertex
+}
+
+func TestSubcommands(t *testing.T) {
+	path, vertex := auditFile(t)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"explain", strconv.Itoa(vertex), path}, &out, &errb); code != 0 {
+		t.Fatalf("explain exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "<- chosen") {
+		t.Fatalf("explain output lacks the chosen marker:\n%s", out.String())
+	}
+
+	out.Reset()
+	htmlPath := filepath.Join(t.TempDir(), "timeline.html")
+	if code := run([]string{"timeline", "-html", htmlPath, path}, &out, &errb); code != 0 {
+		t.Fatalf("timeline exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "cut_ratio") {
+		t.Fatalf("timeline output lacks the window table:\n%s", out.String())
+	}
+	html, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(html, []byte("<svg")) || !bytes.Contains(html, []byte("</html>")) {
+		t.Fatal("HTML timeline is not a complete page with a chart")
+	}
+
+	out.Reset()
+	if code := run([]string{"combine", path}, &out, &errb); code != 0 {
+		t.Fatalf("combine exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "FROZEN as part") {
+		t.Fatalf("combine output lacks freeze outcomes:\n%s", out.String())
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	path, _ := auditFile(t)
+	var out, errb bytes.Buffer
+	cases := []struct {
+		args []string
+		code int
+	}{
+		{nil, 2},                                    // no subcommand
+		{[]string{"bogus"}, 2},                      // unknown subcommand
+		{[]string{"explain", "7"}, 2},               // missing log path
+		{[]string{"explain", "x", path}, 1},         // bad vertex ID
+		{[]string{"timeline", "/no/such.jsonl"}, 1}, // unreadable log
+		{[]string{"combine"}, 2},                    // missing log path
+	}
+	for _, tc := range cases {
+		out.Reset()
+		errb.Reset()
+		if code := run(tc.args, &out, &errb); code != tc.code {
+			t.Errorf("run(%q) = %d, want %d (stderr: %s)", tc.args, code, tc.code, errb.String())
+		}
+	}
+}

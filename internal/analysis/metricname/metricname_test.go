@@ -10,3 +10,7 @@ import (
 func TestSeededViolations(t *testing.T) {
 	analysistest.Run(t, "../testdata/metricname/a", metricname.Analyzer)
 }
+
+func TestSeededViolationsPartaudit(t *testing.T) {
+	analysistest.Run(t, "../testdata/metricname/partaudit", metricname.Analyzer)
+}

@@ -10,3 +10,7 @@ import (
 func TestSeededViolations(t *testing.T) {
 	analysistest.Run(t, "../testdata/spanend/a", spanend.Analyzer)
 }
+
+func TestSeededViolationsPartaudit(t *testing.T) {
+	analysistest.Run(t, "../testdata/spanend/partaudit", spanend.Analyzer)
+}

@@ -1,0 +1,48 @@
+// Package partaudit seeds errio violations in the decision-audit JSONL
+// writer idiom; its path ends in /partaudit so it is in the analyzer's I/O
+// scope, like bpart/internal/partaudit. An audit log that silently loses
+// lines explains a partition that never happened.
+package partaudit
+
+import "encoding/json"
+
+// LineWriter is a fallible buffered sink like bufio.Writer.
+type LineWriter struct{}
+
+// Write mimics io.Writer.
+func (*LineWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// Flush mimics bufio.Writer.Flush.
+func (*LineWriter) Flush() error { return nil }
+
+// Auditor mimics the audit log writer.
+type Auditor struct {
+	bw   *LineWriter
+	werr error
+}
+
+// EmitUnchecked drops the JSONL write and flush errors — the audit log
+// truncates silently on a full disk.
+func (a *Auditor) EmitUnchecked(rec any) {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		line = []byte(`{"type":"error"}`)
+	}
+	a.bw.Write(append(line, '\n')) // want `error from Write discarded`
+	_ = a.bw.Flush()               // want `error from Flush blanked with _`
+}
+
+// EmitChecked keeps the sticky first-error discipline the real Auditor
+// uses: any failure surfaces at the next Flush/Close.
+func (a *Auditor) EmitChecked(rec any) {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		line = []byte(`{"type":"error"}`)
+	}
+	if _, err := a.bw.Write(append(line, '\n')); err != nil && a.werr == nil {
+		a.werr = err
+	}
+	if err := a.bw.Flush(); err != nil && a.werr == nil {
+		a.werr = err
+	}
+}

@@ -1,0 +1,41 @@
+// Package partaudit seeds metricname cases in the finish-time metrics
+// idiom of internal/vcut and internal/multilevel: scheme-level counters
+// and quality gauges published once per partition call.
+package partaudit
+
+// Counter mimics telemetry.Counter.
+type Counter struct{}
+
+// Inc increments.
+func (*Counter) Inc() {}
+
+// Add increments by n.
+func (*Counter) Add(n int64) {}
+
+// Gauge mimics telemetry.Gauge.
+type Gauge struct{}
+
+// Set records a value.
+func (*Gauge) Set(float64) {}
+
+// Registry mimics telemetry.Registry.
+type Registry struct{}
+
+// Counter returns the named counter.
+func (*Registry) Counter(name string) *Counter { return nil }
+
+// Gauge returns the named gauge.
+func (*Registry) Gauge(name string) *Gauge { return nil }
+
+// Publish mirrors the vcut/multilevel finish helpers.
+func Publish(reg *Registry, scheme string) {
+	reg.Counter("vcut_partitions_total").Inc()
+	reg.Counter("multilevel_refine_moves_total").Add(1)
+	reg.Gauge("vcut_replication_factor").Set(0)
+
+	// Splicing the scheme into the name forks one logical metric into an
+	// unenumerable family.
+	reg.Counter("vcut_" + scheme + "_total").Inc() // want `metric name must be a compile-time string constant`
+	// Reusing a counter name as a gauge splits the exported series.
+	reg.Gauge("vcut_partitions_total").Set(0) // want `metric "vcut_partitions_total" registered as gauge here but as counter`
+}

@@ -1,0 +1,38 @@
+// Package partaudit seeds spanend cases in the helper idiom the
+// observability embeds of internal/vcut and internal/multilevel use: a
+// span opened after the argument checks and handed to a finish helper
+// that owns ending it.
+package partaudit
+
+// Span mimics telemetry.Span.
+type Span struct{}
+
+// End closes the span.
+func (Span) End() {}
+
+// Annotate attaches attributes.
+func (Span) Annotate() {}
+
+// Tracer mimics telemetry.Tracer.
+type Tracer struct{}
+
+// Span opens a span.
+func (Tracer) Span(name string) Span { return Span{} }
+
+type report struct{}
+
+// Finished mirrors vcut.Partition: the span escapes into finish, whose
+// End satisfies the pass.
+func Finished(tr Tracer) {
+	sp := tr.Span("vcut.partition")
+	finish(sp, report{})
+}
+
+func finish(sp Span, _ report) { sp.End() }
+
+// Forgotten opens the partition span but never hands it to finish — the
+// phase silently vanishes from the trace timeline.
+func Forgotten(tr Tracer) {
+	sp := tr.Span("vcut.partition") // want `span "sp" is never ended`
+	sp.Annotate()
+}

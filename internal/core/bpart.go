@@ -25,6 +25,7 @@ import (
 
 	"bpart/internal/graph"
 	"bpart/internal/metrics"
+	"bpart/internal/partaudit"
 	"bpart/internal/partition"
 	"bpart/internal/telemetry"
 )
@@ -95,6 +96,7 @@ type BPart struct {
 	cfg Config
 	tr  telemetry.Tracer
 	reg *telemetry.Registry
+	aud *partaudit.Auditor
 }
 
 // New returns a BPart with the given configuration. An all-zero Config
@@ -114,6 +116,12 @@ func (b *BPart) SetTelemetry(tr telemetry.Tracer, reg *telemetry.Registry) {
 	b.tr = telemetry.Safe(tr)
 	b.reg = reg
 }
+
+// SetAudit implements partaudit.Auditable: a (may be nil, detaching)
+// receives the decision log, streaming quality timeline and combining
+// audit tree of every subsequent Partition call. Auditing is pure
+// observation — the audited assignment is identical to an unaudited one.
+func (b *BPart) SetAudit(a *partaudit.Auditor) { b.aud = a }
 
 // Name implements partition.Partitioner.
 func (*BPart) Name() string { return "BPart" }
@@ -178,6 +186,14 @@ func (b *BPart) PartitionWithTrace(g *graph.Graph, k int) (*partition.Assignment
 	// Undirected affinity (Fennel's N(v)) needs the reversed adjacency;
 	// build it once and reuse it across every layer's stream.
 	in := g.Transpose()
+	b.aud.Begin("BPart", g, k)
+	// Per-part sizes predicted at combining freeze time, for the audit's
+	// predicted-vs-actual comparison (the gap is what refine repaired).
+	var predV, predE []int
+	if b.aud != nil {
+		predV = make([]int, k)
+		predE = make([]int, k)
+	}
 
 	remaining := make([]graph.VertexID, n)
 	for v := range remaining {
@@ -227,6 +243,7 @@ func (b *BPart) PartitionWithTrace(g *graph.Graph, k int) (*partition.Assignment
 			In:       in,
 			Tracer:   b.tr,
 			Metrics:  b.reg,
+			Audit:    b.aud.Stream(layer, g, in, pieces),
 		})
 		if err != nil {
 			layerSpan.End(telemetry.String("error", err.Error()))
@@ -248,12 +265,28 @@ func (b *BPart) PartitionWithTrace(g *graph.Graph, k int) (*partition.Assignment
 		// count, pairing vertex-lightest with vertex-heaviest, until
 		// exactly nr groups remain. With the unclamped piece count this
 		// takes layer·log2(SplitFactor) rounds.
+		round := 0
 		for len(groups) > nr {
 			target := (len(groups) + 1) / 2
 			if target < nr {
 				target = nr
 			}
-			groups = combineRound(groups, target)
+			var emit func(a, b group)
+			if b.aud != nil {
+				r := round
+				emit = func(x, y group) {
+					b.aud.Combine(partaudit.Merge{
+						Layer:   layer,
+						Round:   r,
+						APieces: append([]int(nil), x.pieces...),
+						AV:      x.v, AE: x.e,
+						BPieces: append([]int(nil), y.pieces...),
+						BV:      y.v, BE: y.e,
+					})
+				}
+			}
+			groups = combineRound(groups, target, emit)
+			round++
 		}
 
 		// Freeze balanced groups; dissolve the rest.
@@ -262,18 +295,52 @@ func (b *BPart) PartitionWithTrace(g *graph.Graph, k int) (*partition.Assignment
 			pieceToFinal[i] = partition.Unassigned
 		}
 		var nextRemainingGroups []group
+		var auditGroups []partaudit.LayerGroup
 		for _, grp := range groups {
 			lt.CombinedV = append(lt.CombinedV, grp.v)
 			lt.CombinedE = append(lt.CombinedE, grp.e)
-			if last || b.balanced(grp, targetV, targetE) {
+			froze := last || b.balanced(grp, targetV, targetE)
+			if froze {
 				for _, p := range grp.pieces {
 					pieceToFinal[p] = nextFinal
+				}
+				if b.aud != nil {
+					predV[nextFinal] = grp.v
+					predE[nextFinal] = grp.e
 				}
 				nextFinal++
 				lt.Finalized++
 			} else {
 				nextRemainingGroups = append(nextRemainingGroups, grp)
 			}
+			if b.aud != nil {
+				ag := partaudit.LayerGroup{
+					Pieces: append([]int(nil), grp.pieces...),
+					V:      grp.v,
+					E:      grp.e,
+					Final:  -1,
+				}
+				if froze {
+					ag.Final = nextFinal - 1
+				}
+				if targetV > 0 {
+					ag.VDev = math.Abs(float64(grp.v)-targetV) / targetV
+				}
+				if targetE > 0 {
+					ag.EDev = math.Abs(float64(grp.e)-targetE) / targetE
+				}
+				auditGroups = append(auditGroups, ag)
+			}
+		}
+		if b.aud != nil {
+			b.aud.Layer(partaudit.LayerRecord{
+				Layer:   layer,
+				Pieces:  pieces,
+				TargetV: targetV,
+				TargetE: targetE,
+				Epsilon: b.cfg.Epsilon,
+				Groups:  auditGroups,
+			})
 		}
 		// Map vertices of frozen groups to their final part; collect the
 		// rest for the next layer, preserving ID order for stream
@@ -334,6 +401,18 @@ func (b *BPart) PartitionWithTrace(g *graph.Graph, k int) (*partition.Assignment
 	if b.reg != nil {
 		b.reg.Counter("bpart_partitions_total").Inc()
 	}
+	if b.aud != nil {
+		// The closing record is computed exactly as Evaluate computes its
+		// Report, so the audit timeline ends on the numbers the evaluation
+		// reports.
+		rep := metrics.NewReport(g, final, k, false)
+		b.aud.Final(partaudit.Final{
+			K: k, V: rep.Vertices, E: rep.Edges,
+			VBias: rep.VertexBias, EBias: rep.EdgeBias, CutRatio: rep.CutRatio,
+			PredictedV: predV, PredictedE: predE,
+			RefineMoves: moves.Shed + moves.Pulled,
+		})
+	}
 	return a, trace, nil
 }
 
@@ -373,8 +452,10 @@ func residualBias(vs, es []int, targetV, targetE float64) (vBias, eBias float64)
 // combineRound sorts groups by vertex count and merges the lightest with
 // the heaviest (the paper's pairing rule exploiting the inverse
 // proportionality of |V_i| and |E_i|), merging just enough pairs to reach
-// target groups. Unpaired middle groups pass through unchanged.
-func combineRound(groups []group, target int) []group {
+// target groups. Unpaired middle groups pass through unchanged. onMerge,
+// when non-nil, observes each pairing (vertex-lightest side first) for
+// the combining audit tree.
+func combineRound(groups []group, target int, onMerge func(a, b group)) []group {
 	if target >= len(groups) {
 		return groups
 	}
@@ -388,6 +469,9 @@ func combineRound(groups []group, target int) []group {
 	out := make([]group, 0, target)
 	for i := 0; i < merges; i++ {
 		a, b := groups[i], groups[len(groups)-1-i]
+		if onMerge != nil {
+			onMerge(a, b)
+		}
 		out = append(out, group{
 			v:      a.v + b.v,
 			e:      a.e + b.e,

@@ -289,7 +289,7 @@ func TestCombineRound(t *testing.T) {
 		{v: 2, e: 30, pieces: []int{2}},
 		{v: 3, e: 20, pieces: []int{3}},
 	}
-	out := combineRound(groups, 2)
+	out := combineRound(groups, 2, nil)
 	if len(out) != 2 {
 		t.Fatalf("got %d groups", len(out))
 	}
@@ -300,12 +300,12 @@ func TestCombineRound(t *testing.T) {
 		}
 	}
 	// target >= len is the identity.
-	same := combineRound(groups, 9)
+	same := combineRound(groups, 9, nil)
 	if len(same) != 4 {
 		t.Fatalf("identity round changed group count")
 	}
 	// Odd count: 3 groups → 2 (one merge, one passthrough).
-	odd := combineRound(groups[:3], 2)
+	odd := combineRound(groups[:3], 2, nil)
 	if len(odd) != 2 {
 		t.Fatalf("odd merge gave %d groups", len(odd))
 	}

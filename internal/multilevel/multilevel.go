@@ -23,6 +23,7 @@ import (
 
 	"bpart/internal/graph"
 	"bpart/internal/partition"
+	"bpart/internal/telemetry"
 )
 
 // Config tunes the multilevel partitioner.
@@ -67,9 +68,11 @@ func (c *Config) Normalize() error {
 }
 
 // Multilevel is the offline partitioner. It implements
-// partition.Partitioner.
+// partition.Partitioner and telemetry.Instrumentable.
 type Multilevel struct {
 	cfg Config
+	tr  telemetry.Tracer
+	reg *telemetry.Registry
 }
 
 // New returns a Multilevel partitioner; a zero Config selects defaults.
@@ -77,7 +80,15 @@ func New(cfg Config) (*Multilevel, error) {
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
 	}
-	return &Multilevel{cfg: cfg}, nil
+	return &Multilevel{cfg: cfg, tr: telemetry.Nop()}, nil
+}
+
+// SetTelemetry implements telemetry.Instrumentable: tr (may be nil)
+// receives one span per Partition call plus per-phase coarsen/initial/
+// refine spans; reg (may be nil) accumulates multilevel_* counters.
+func (m *Multilevel) SetTelemetry(tr telemetry.Tracer, reg *telemetry.Registry) {
+	m.tr = telemetry.Safe(tr)
+	m.reg = reg
 }
 
 // Name implements partition.Partitioner.
@@ -103,7 +114,14 @@ func (m *Multilevel) Partition(g *graph.Graph, k int) (*partition.Assignment, er
 		return &partition.Assignment{Parts: []int{}, K: k}, nil
 	}
 
+	tr := telemetry.Safe(m.tr)
+	runSpan := tr.Span("multilevel.partition",
+		telemetry.Int("k", k),
+		telemetry.Int("vertices", n),
+		telemetry.Int("edges", g.NumEdges()))
+
 	// --- Coarsening ---
+	coarsenSpan := tr.Span("multilevel.coarsen")
 	levels := []level{{g: g, weight: ones(n)}}
 	clusterCap := n/(4*k) + 1
 	for len(levels) < m.cfg.MaxLevels {
@@ -119,20 +137,41 @@ func (m *Multilevel) Partition(g *graph.Graph, k int) (*partition.Assignment, er
 		cur.cluster = clusters
 		levels = append(levels, next)
 	}
+	coarse := levels[len(levels)-1]
+	coarsenSpan.End(
+		telemetry.Int("levels", len(levels)),
+		telemetry.Int("coarsest_vertices", coarse.g.NumVertices()),
+		telemetry.Int("coarsest_edges", coarse.g.NumEdges()))
 
 	// --- Initial partitioning (LPT on the coarsest level) ---
-	coarse := levels[len(levels)-1]
+	initSpan := tr.Span("multilevel.initial",
+		telemetry.Int("super_vertices", coarse.g.NumVertices()))
 	parts := lptAssign(coarse.weight, k)
+	initSpan.End()
 
 	// --- Uncoarsening + refinement ---
 	maxWeight := int(float64(n)/float64(k)*(1+m.cfg.Imbalance)) + 1
+	totalMoves := 0
 	for li := len(levels) - 1; li >= 0; li-- {
 		lv := levels[li]
+		refineSpan := tr.Span("multilevel.refine",
+			telemetry.Int("level", li),
+			telemetry.Int("vertices", lv.g.NumVertices()))
+		levelMoves := 0
 		for it := 0; it < m.cfg.RefineIters; it++ {
-			if !refinePass(lv.g, lv.weight, parts, k, maxWeight) {
+			moved := refinePass(lv.g, lv.weight, parts, k, maxWeight)
+			levelMoves += moved
+			if moved == 0 {
 				break
 			}
 		}
+		refineSpan.End(telemetry.Int("moves", levelMoves))
+		if m.reg != nil {
+			// Per-round (per-level) move counter: refinement activity
+			// concentrates on the finest levels, which this exposes.
+			m.reg.Counter("multilevel_refine_moves_total").Add(int64(levelMoves))
+		}
+		totalMoves += levelMoves
 		if li > 0 {
 			// Project onto the finer level below.
 			finer := levels[li-1]
@@ -145,7 +184,15 @@ func (m *Multilevel) Partition(g *graph.Graph, k int) (*partition.Assignment, er
 	}
 	a := &partition.Assignment{Parts: parts, K: k}
 	if err := a.Validate(g); err != nil {
+		runSpan.End(telemetry.String("error", err.Error()))
 		return nil, fmt.Errorf("multilevel: internal error: %w", err)
+	}
+	runSpan.End(
+		telemetry.Int("levels", len(levels)),
+		telemetry.Int("refine_moves", totalMoves))
+	if m.reg != nil {
+		m.reg.Counter("multilevel_partitions_total").Inc()
+		m.reg.Counter("multilevel_levels_total").Add(int64(len(levels)))
 	}
 	return a, nil
 }
@@ -274,14 +321,14 @@ func lptAssign(weight []int, k int) []int {
 
 // refinePass moves boundary vertices to the neighboring part with the
 // highest arc affinity when that strictly reduces the cut and respects the
-// balance cap. It reports whether any vertex moved.
-func refinePass(g *graph.Graph, weight, parts []int, k, maxWeight int) bool {
+// balance cap. It returns the number of vertices moved.
+func refinePass(g *graph.Graph, weight, parts []int, k, maxWeight int) int {
 	load := make([]int, k)
 	for v, p := range parts {
 		load[p] += weight[v]
 	}
 	counts := make([]int, k)
-	movedAny := false
+	moved := 0
 	for v := 0; v < g.NumVertices(); v++ {
 		ns := g.Neighbors(graph.VertexID(v))
 		if len(ns) == 0 {
@@ -314,10 +361,10 @@ func refinePass(g *graph.Graph, weight, parts []int, k, maxWeight int) bool {
 			load[cur] -= weight[v]
 			load[best] += weight[v]
 			parts[v] = best
-			movedAny = true
+			moved++
 		}
 	}
-	return movedAny
+	return moved
 }
 
 func init() {

@@ -3,6 +3,7 @@ package partition
 import (
 	"bpart/internal/graph"
 	"bpart/internal/metrics"
+	"bpart/internal/partaudit"
 )
 
 // LDG is the Linear Deterministic Greedy streaming partitioner of Stanton
@@ -17,10 +18,15 @@ import (
 type LDG struct {
 	// Slack ν sets the per-part capacity ν·n/k; <= 0 selects 1.1.
 	Slack float64
+
+	aud *partaudit.Auditor
 }
 
 // Name implements Partitioner.
 func (LDG) Name() string { return "LDG" }
+
+// SetAudit implements partaudit.Auditable; nil detaches.
+func (l *LDG) SetAudit(a *partaudit.Auditor) { l.aud = a }
 
 // Partition implements Partitioner.
 func (l LDG) Partition(g *graph.Graph, k int) (*Assignment, error) {
@@ -37,6 +43,8 @@ func (l LDG) Partition(g *graph.Graph, k int) (*Assignment, error) {
 		capacity = 1
 	}
 	in := g.Transpose()
+	l.aud.Begin("LDG", g, k)
+	rec := l.aud.Stream(0, g, in, k)
 	parts := make([]int, n)
 	for i := range parts {
 		parts[i] = Unassigned
@@ -56,17 +64,31 @@ func (l LDG) Partition(g *graph.Graph, k int) (*Assignment, error) {
 		}
 		count(g.Neighbors(graph.VertexID(v)))
 		count(in.Neighbors(graph.VertexID(v)))
+		d := g.OutDegree(graph.VertexID(v))
+		dec := rec.SampleDecision(graph.VertexID(v), d)
+		cause := partaudit.CauseGreedy
 		best, bestScore := -1, -1.0
 		for i := 0; i < k; i++ {
+			// LDG's multiplicative score decomposes additively as
+			// aff·(1−size/cap) = aff − aff·size/cap, so the audit's
+			// affinity/penalty split stays meaningful.
 			if float64(size[i]) >= capacity {
+				pen := float64(affinity[i]) * float64(size[i]) / capacity
+				dec.Candidate(i, affinity[i], pen, float64(affinity[i])-pen, partaudit.SkipCapV)
 				continue
 			}
 			score := float64(affinity[i]) * (1 - float64(size[i])/capacity)
-			if score > bestScore || (metrics.TieEq(score, bestScore) && best >= 0 && size[i] < size[best]) {
+			dec.Candidate(i, affinity[i], float64(affinity[i])*float64(size[i])/capacity, score, "")
+			if score > bestScore {
 				best, bestScore = i, score
+				cause = partaudit.CauseGreedy
+			} else if metrics.TieEq(score, bestScore) && best >= 0 && size[i] < size[best] {
+				best, bestScore = i, score
+				cause = partaudit.CauseTieBreak
 			}
 		}
 		if best == -1 {
+			cause = partaudit.CauseFallback
 			best = 0
 			for i := 1; i < k; i++ {
 				if size[i] < size[best] {
@@ -76,10 +98,15 @@ func (l LDG) Partition(g *graph.Graph, k int) (*Assignment, error) {
 		}
 		parts[v] = best
 		size[best]++
+		rec.Place(graph.VertexID(v), d, best, cause, dec, parts)
 	}
+	rec.End()
+	auditFinal(l.aud, g, parts, k)
 	return &Assignment{Parts: parts, K: k}, nil
 }
 
 func init() {
-	Register("LDG", func() Partitioner { return LDG{} })
+	// Registered as a pointer so an Auditor can be attached after
+	// construction (partaudit.Auditable).
+	Register("LDG", func() Partitioner { return &LDG{} })
 }

@@ -55,5 +55,7 @@ func init() {
 	Register("Chunk-V", func() Partitioner { return ChunkV{} })
 	Register("Chunk-E", func() Partitioner { return ChunkE{} })
 	Register("Hash", func() Partitioner { return Hash{} })
-	Register("Fennel", func() Partitioner { return Fennel{} })
+	// Fennel is registered as a pointer so an Auditor can be attached
+	// after construction (partaudit.Auditable).
+	Register("Fennel", func() Partitioner { return &Fennel{} })
 }

@@ -6,6 +6,7 @@ import (
 
 	"bpart/internal/graph"
 	"bpart/internal/metrics"
+	"bpart/internal/partaudit"
 	"bpart/internal/telemetry"
 )
 
@@ -55,6 +56,11 @@ type StreamOptions struct {
 	// Metrics, when non-nil, accumulates the StreamStats into
 	// stream_*_total counters across calls.
 	Metrics *telemetry.Registry
+	// Audit, when non-nil, receives sampled per-placement decision
+	// records (full score decomposition) and windowed quality snapshots
+	// for this stream. The audited run's assignment is byte-identical to
+	// an unaudited one: auditing only observes scores, never alters them.
+	Audit *partaudit.StreamRecorder
 }
 
 // StreamStats counts what the streaming loop did — the introspection knobs
@@ -202,32 +208,48 @@ func Stream(g *graph.Graph, opt StreamOptions) (*StreamResult, error) {
 			}
 		}
 		d := g.OutDegree(v)
+		dec := opt.Audit.SampleDecision(v, d)
+		cause := partaudit.CauseGreedy
 		best, bestScore := -1, math.Inf(-1)
 		for i := 0; i < opt.K; i++ {
-			if w[i] >= capW {
+			skip := ""
+			switch {
+			case w[i] >= capW:
 				capWSkips++
-				continue
-			}
-			if opt.CapV > 0 && vCount[i]+1 > opt.CapV {
+				skip = partaudit.SkipCapW
+			case opt.CapV > 0 && vCount[i]+1 > opt.CapV:
 				capVSkips++
-				continue
-			}
-			if opt.CapE > 0 && eCount[i]+d > opt.CapE {
+				skip = partaudit.SkipCapV
+			case opt.CapE > 0 && eCount[i]+d > opt.CapE:
 				capESkips++
+				skip = partaudit.SkipCapE
+			}
+			if skip != "" {
+				if dec != nil {
+					pen := alpha * opt.Gamma * gammaPow(w[i])
+					dec.Candidate(i, affinity[i], pen, float64(affinity[i])-pen, skip)
+				}
 				continue
 			}
-			score := float64(affinity[i]) - alpha*opt.Gamma*gammaPow(w[i])
+			pen := alpha * opt.Gamma * gammaPow(w[i])
+			score := float64(affinity[i]) - pen
+			if dec != nil {
+				dec.Candidate(i, affinity[i], pen, score, "")
+			}
 			if score > bestScore {
 				best, bestScore = i, score
+				cause = partaudit.CauseGreedy
 			} else if metrics.TieEq(score, bestScore) && best >= 0 && w[i] < w[best] {
 				best = i
 				tieBreaks++
+				cause = partaudit.CauseTieBreak
 			}
 		}
 		if best == -1 {
 			// All parts at capacity (possible only through rounding):
 			// fall back to the lightest part.
 			fallbacks++
+			cause = partaudit.CauseFallback
 			best = 0
 			for i := 1; i < opt.K; i++ {
 				if w[i] < w[best] {
@@ -239,7 +261,9 @@ func Stream(g *graph.Graph, opt StreamOptions) (*StreamResult, error) {
 		vCount[best]++
 		eCount[best] += d
 		w[best] += opt.C + (1-opt.C)*float64(d)/avgDeg
+		opt.Audit.Place(v, d, best, cause, dec, parts)
 	}
+	opt.Audit.End()
 	stats := StreamStats{
 		Placed:    int64(ns),
 		CapWSkips: capWSkips,
@@ -288,10 +312,18 @@ func powFunc(e float64) func(float64) float64 {
 type Fennel struct {
 	// Alpha, Gamma and Slack override the standard parameters when > 0.
 	Alpha, Gamma, Slack float64
+
+	aud *partaudit.Auditor
 }
 
 // Name implements Partitioner.
 func (Fennel) Name() string { return "Fennel" }
+
+// SetAudit implements partaudit.Auditable: the auditor receives sampled
+// decision records and the windowed quality timeline of the next
+// Partition call. Audit attachment requires a pointer instance (the
+// registry hands those out); nil detaches.
+func (f *Fennel) SetAudit(a *partaudit.Auditor) { f.aud = a }
 
 // Partition implements Partitioner. Like the original Fennel, the
 // neighborhood N(v) is undirected: the transpose is built once so in-edges
@@ -300,16 +332,35 @@ func (f Fennel) Partition(g *graph.Graph, k int) (*Assignment, error) {
 	if err := checkArgs(g, k); err != nil {
 		return nil, err
 	}
+	in := g.Transpose()
+	f.aud.Begin("Fennel", g, k)
 	res, err := Stream(g, StreamOptions{
 		K:     k,
 		C:     1, // vertex-only balance indicator: classic Fennel
 		Alpha: f.Alpha,
 		Gamma: f.Gamma,
 		Slack: f.Slack,
-		In:    g.Transpose(),
+		In:    in,
+		Audit: f.aud.Stream(0, g, in, k),
 	})
 	if err != nil {
 		return nil, err
 	}
+	auditFinal(f.aud, g, res.Parts, k)
 	return &Assignment{Parts: res.Parts, K: k}, nil
+}
+
+// auditFinal emits the audit log's closing record: the finished
+// assignment's quality report, computed exactly as Evaluate computes it —
+// which is what makes the timeline's final numbers and the Report equal
+// by construction.
+func auditFinal(a *partaudit.Auditor, g *graph.Graph, parts []int, k int) {
+	if a == nil {
+		return
+	}
+	rep := metrics.NewReport(g, parts, k, false)
+	a.Final(partaudit.Final{
+		K: k, V: rep.Vertices, E: rep.Edges,
+		VBias: rep.VertexBias, EBias: rep.EdgeBias, CutRatio: rep.CutRatio,
+	})
 }

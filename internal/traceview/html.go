@@ -4,6 +4,8 @@ import (
 	"html"
 	"io"
 	"time"
+
+	"bpart/internal/htmlpage"
 )
 
 // WriteHTML renders the trace as one self-contained HTML file: a span
@@ -12,19 +14,10 @@ import (
 // compute, communication and waiting time — Fig 12/13 as an artifact you
 // can open in a browser with no server and no external assets.
 func WriteHTML(w io.Writer, tr *Trace) error {
+	if err := htmlpage.Start(w, "bpart trace timeline"); err != nil {
+		return err
+	}
 	ew := &errWriter{w: w}
-	ew.printf("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>bpart trace</title>\n")
-	ew.printf(`<style>
-body{font:13px/1.4 system-ui,sans-serif;margin:24px;color:#222}
-h1{font-size:18px}h2{font-size:15px;margin-top:28px}
-.meta{color:#666}
-svg{background:#fafafa;border:1px solid #ddd}
-.lbl{font-size:10px;fill:#333}
-.warn{color:#b00;font-weight:bold}
-.legend span{display:inline-block;padding:1px 6px;margin-right:8px;color:#fff;border-radius:2px}
-</style></head><body>
-`)
-	ew.printf("<h1>bpart trace timeline</h1>\n")
 	writeHTMLSummary(ew, tr)
 	writeHTMLSpans(ew, tr)
 	steps, err := Supersteps(tr)
@@ -34,8 +27,10 @@ svg{background:#fafafa;border:1px solid #ddd}
 	for i, run := range GroupRuns(steps) {
 		writeHTMLRun(ew, i+1, run)
 	}
-	ew.printf("</body></html>\n")
-	return ew.err
+	if ew.err != nil {
+		return ew.err
+	}
+	return htmlpage.End(w)
 }
 
 func writeHTMLSummary(ew *errWriter, tr *Trace) {

@@ -137,6 +137,7 @@ func mix64(z uint64) uint64 {
 // RandomEdge hashes each arc to a part.
 type RandomEdge struct {
 	Seed uint64
+	observability
 }
 
 // Name implements Partitioner.
@@ -147,16 +148,20 @@ func (r RandomEdge) Partition(g *graph.Graph, k int) (*EdgeAssignment, error) {
 	if err := checkArgs(g, k); err != nil {
 		return nil, err
 	}
+	sp := r.startSpan("RandomEdge", g, k)
 	parts := make([]int, g.NumEdges())
 	for i := range parts {
 		parts[i] = int(mix64(uint64(i)^r.Seed) % uint64(k))
 	}
-	return &EdgeAssignment{Parts: parts, K: k}, nil
+	a := &EdgeAssignment{Parts: parts, K: k}
+	r.finish(sp, g, a)
+	return a, nil
 }
 
 // DBH assigns each arc by hashing its lower-(total-)degree endpoint.
 type DBH struct {
 	Seed uint64
+	observability
 }
 
 // Name implements Partitioner.
@@ -167,6 +172,7 @@ func (d DBH) Partition(g *graph.Graph, k int) (*EdgeAssignment, error) {
 	if err := checkArgs(g, k); err != nil {
 		return nil, err
 	}
+	sp := d.startSpan("DBH", g, k)
 	deg := totalDegrees(g)
 	parts := make([]int, g.NumEdges())
 	i := 0
@@ -179,7 +185,9 @@ func (d DBH) Partition(g *graph.Graph, k int) (*EdgeAssignment, error) {
 		i++
 		return true
 	})
-	return &EdgeAssignment{Parts: parts, K: k}, nil
+	a := &EdgeAssignment{Parts: parts, K: k}
+	d.finish(sp, g, a)
+	return a, nil
 }
 
 // totalDegrees returns out-degree + in-degree per vertex.
@@ -194,14 +202,16 @@ func totalDegrees(g *graph.Graph) []int {
 }
 
 // Greedy is PowerGraph's streaming edge placement.
-type Greedy struct{}
+type Greedy struct {
+	observability
+}
 
 // Name implements Partitioner.
 func (Greedy) Name() string { return "Greedy" }
 
 // Partition implements Partitioner.
-func (Greedy) Partition(g *graph.Graph, k int) (*EdgeAssignment, error) {
-	return streamEdges(g, k, func(_, _ float64, repU, repV bool, load, minLoad, maxLoad int) float64 {
+func (gr Greedy) Partition(g *graph.Graph, k int) (*EdgeAssignment, error) {
+	return streamEdges(g, k, "Greedy", gr.observability, func(_, _ float64, repU, repV bool, load, minLoad, maxLoad int) float64 {
 		score := 0.0
 		if repU {
 			score++
@@ -219,6 +229,7 @@ func (Greedy) Partition(g *graph.Graph, k int) (*EdgeAssignment, error) {
 type HDRF struct {
 	// Lambda weighs the balance term; <= 0 selects 1.0.
 	Lambda float64
+	observability
 }
 
 // Name implements Partitioner.
@@ -230,7 +241,7 @@ func (h HDRF) Partition(g *graph.Graph, k int) (*EdgeAssignment, error) {
 	if lambda <= 0 {
 		lambda = 1.0
 	}
-	return streamEdges(g, k, func(thetaU, thetaV float64, repU, repV bool, load, minLoad, maxLoad int) float64 {
+	return streamEdges(g, k, "HDRF", h.observability, func(thetaU, thetaV float64, repU, repV bool, load, minLoad, maxLoad int) float64 {
 		score := 0.0
 		if repU {
 			score += 1 + (1 - thetaU)
@@ -249,10 +260,11 @@ func (h HDRF) Partition(g *graph.Graph, k int) (*EdgeAssignment, error) {
 // extreme edge loads.
 type scoreFunc func(thetaU, thetaV float64, repU, repV bool, load, minLoad, maxLoad int) float64
 
-func streamEdges(g *graph.Graph, k int, score scoreFunc) (*EdgeAssignment, error) {
+func streamEdges(g *graph.Graph, k int, name string, o observability, score scoreFunc) (*EdgeAssignment, error) {
 	if err := checkArgs(g, k); err != nil {
 		return nil, err
 	}
+	sp := o.startSpan(name, g, k)
 	n := g.NumVertices()
 	parts := make([]int, g.NumEdges())
 	replicas := make([]uint64, n)
@@ -306,7 +318,9 @@ func streamEdges(g *graph.Graph, k int, score scoreFunc) (*EdgeAssignment, error
 			}
 		}
 	}
-	return &EdgeAssignment{Parts: parts, K: k}, nil
+	a := &EdgeAssignment{Parts: parts, K: k}
+	o.finish(sp, g, a)
+	return a, nil
 }
 
 // shuffledVertices returns a deterministic pseudo-random vertex order.
