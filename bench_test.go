@@ -167,6 +167,76 @@ func BenchmarkPartitionAudited(b *testing.B) {
 	}
 }
 
+// Fault-hook overhead: the iteration engine with no controller attached
+// (the default) versus one with an idle controller — empty schedule,
+// interval checkpoints disabled — so only the per-superstep protocol
+// branches (Disrupt consultation, EndSuperstep bookkeeping, the one free
+// initial snapshot) run. The idle variant must stay within noise (<5%) of
+// the plain one. Compare with:
+//
+//	go test -bench 'PageRankPlain|PageRankFaultIdle' -count 10 .
+func benchPageRank(b *testing.B, withIdleFaults bool) {
+	b.Helper()
+	g, err := Preset(TwitterSim, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := Partition(g, "Chunk-V", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewIterationEngine(g, a, DefaultCostModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if withIdleFaults {
+		// CheckpointEvery -1 disables interval checkpoints; no events means
+		// nothing ever fires.
+		if _, err := EnableFaults(e, &FaultSpec{CheckpointEvery: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.PageRank(10, 0.85); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageRankPlain(b *testing.B)     { benchPageRank(b, false) }
+func BenchmarkPageRankFaultIdle(b *testing.B) { benchPageRank(b, true) }
+
+// And the live recovery cost (crash mid-run, rollback, replay), for
+// reference rather than as a gate.
+func BenchmarkPageRankRecovered(b *testing.B) {
+	g, err := Preset(TwitterSim, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := Partition(g, "Chunk-V", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewIterationEngine(g, a, DefaultCostModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := &FaultSpec{
+		CheckpointEvery: 2,
+		Events:          []FaultEvent{{Kind: CrashFault, Step: 5, Machine: 1}},
+	}
+	if _, err := EnableFaults(e, spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.PageRank(10, 0.85); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // And the fully-instrumented cost (memory tracer + live registry), for
 // reference rather than as a gate.
 func BenchmarkPartitionTracedMemory(b *testing.B) {

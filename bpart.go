@@ -24,6 +24,7 @@ import (
 	"bpart/internal/embed"
 	"bpart/internal/engine"
 	"bpart/internal/experiments"
+	"bpart/internal/fault"
 	"bpart/internal/gen"
 	"bpart/internal/gio"
 	"bpart/internal/graph"
@@ -344,6 +345,90 @@ func NewIterationEngine(g *Graph, a *Assignment, model CostModel) (*IterationEng
 		return nil, err
 	}
 	return engine.New(g, a.Parts, a.K, model)
+}
+
+// ---- fault injection, checkpointing and recovery ----
+
+// FaultSpec is a complete, replayable fault schedule: crashes, transient
+// slowdowns and lost message batches at chosen supersteps, plus the
+// checkpoint interval and crash recovery policy. Specs serialize to JSON
+// (ReadFaultSpecFile / WriteJSON) so a failure scenario is a versioned
+// artifact.
+type FaultSpec = fault.Spec
+
+// FaultEvent is one scheduled fault in a FaultSpec.
+type FaultEvent = fault.Event
+
+// FaultPolicy selects how a run recovers from a crash.
+type FaultPolicy = fault.Policy
+
+// FaultRandomConfig parameterizes RandomFaultSpec.
+type FaultRandomConfig = fault.RandomConfig
+
+// FaultController drives one engine's checkpoints, disruptions and
+// recovery for a FaultSpec. Obtain one with EnableFaults; it accepts
+// Instrument for fault.* trace events and fault_* counters.
+type FaultController = fault.Controller
+
+// RecoveryStats summarizes what fault handling cost a run; engines attach
+// it to their results (PageRankResult.Recovery, WalkResult.Recovery, ...).
+type RecoveryStats = fault.RecoveryStats
+
+// Crash recovery policies.
+const (
+	// RollbackPolicy reloads the last checkpoint everywhere and replays.
+	RollbackPolicy = fault.Rollback
+	// RestreamPolicy permanently retires the crashed machine, restreams
+	// its vertices onto the survivors (prioritized Fennel restreaming)
+	// and replays in degraded mode.
+	RestreamPolicy = fault.Restream
+)
+
+// Fault event kinds.
+const (
+	CrashFault   = fault.Crash
+	SlowFault    = fault.Slow
+	MsgLossFault = fault.MsgLoss
+)
+
+// ReadFaultSpec parses and normalizes a JSON fault schedule.
+func ReadFaultSpec(r io.Reader) (*FaultSpec, error) { return fault.ReadSpec(r) }
+
+// ReadFaultSpecFile reads a fault schedule from path.
+func ReadFaultSpecFile(path string) (*FaultSpec, error) { return fault.ReadSpecFile(path) }
+
+// RandomFaultSpec draws a replayable schedule: the same config always
+// yields the same spec.
+func RandomFaultSpec(cfg FaultRandomConfig) (*FaultSpec, error) { return fault.RandomSpec(cfg) }
+
+// EnableFaults attaches a fault schedule to an engine that supports
+// injection (IterationEngine, WalkEngine) and returns the controller so
+// the caller can Instrument it or inspect the normalized spec. Pass each
+// engine its own controller; a controller is bound to its engine's
+// simulated cluster.
+func EnableFaults(component any, spec *FaultSpec) (*FaultController, error) {
+	switch e := component.(type) {
+	case *IterationEngine:
+		ctl, err := fault.NewController(e.Graph(), e.Cluster(), spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.SetFaults(ctl); err != nil {
+			return nil, err
+		}
+		return ctl, nil
+	case *WalkEngine:
+		ctl, err := fault.NewController(e.Graph(), e.Cluster(), spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.SetFaults(ctl); err != nil {
+			return nil, err
+		}
+		return ctl, nil
+	default:
+		return nil, fmt.Errorf("bpart: %T does not support fault injection (IterationEngine and WalkEngine do)", component)
+	}
 }
 
 // WalkEngine is the KnightKing-like random-walk engine.

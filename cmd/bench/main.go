@@ -9,20 +9,27 @@
 //	bench -id "Fig 13" -id "Table 3"
 //	bench -list
 //	bench -trace run.jsonl -pprof localhost:6060
-//	bench -json BENCH_bpart.json
+//	bench -json BENCH_bpart.json -deterministic
+//	bench -fault crash5.json -checkpoint-every 2
 //
 // With -trace, one "bench.experiment" span per experiment (id, duration,
 // row count) is appended as JSON lines, along with the engines' spans and
 // per-superstep cluster records — feed the file to cmd/tracestat. With
 // -json, a machine-readable BENCH artifact (schema in EXPERIMENTS.md) is
-// written for regression tracking. With -pprof, /debug/pprof/*, /metrics
-// and /debug/vars are served on the given address while the benchmark
-// runs — profile the harness live.
+// written for regression tracking; -deterministic zeroes its wall-clock
+// fields so two runs with identical flags produce byte-identical files.
+// With -fault, the JSON fault schedule is injected into every engine the
+// experiments build and the artifact grows a recovery section;
+// -checkpoint-every overrides (or, without -fault, enables) superstep
+// checkpointing. With -pprof, /debug/pprof/*, /metrics and /debug/vars
+// are served on the given address while the benchmark runs — profile the
+// harness live.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -38,56 +45,87 @@ func (l *idList) String() string     { return fmt.Sprint(*l) }
 func (l *idList) Set(v string) error { *l = append(*l, v); return nil }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var ids idList
-	scale := flag.Float64("scale", 1.0, "dataset scale (1.0 = EXPERIMENTS.md size)")
-	walkers := flag.Int("walkers", 0, "override walkers per vertex (0 = paper defaults)")
-	list := flag.Bool("list", false, "list experiment IDs and exit")
-	csvDir := flag.String("csv", "", "also write each experiment as CSV into this directory")
-	tracePath := flag.String("trace", "", "write a JSONL trace (one span per experiment) to this file")
-	jsonPath := flag.String("json", "", "write a machine-readable BENCH artifact (schema in EXPERIMENTS.md) to this file, e.g. BENCH_bpart.json")
-	auditPath := flag.String("audit", "", "also run one audited BPart partition (twitter-sim at -scale, k=8) and write its decision audit log (JSONL, see cmd/partstat) here")
-	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /metrics and /debug/vars on this address")
-	flag.Var(&ids, "id", "experiment ID to run (repeatable; default all)")
-	flag.Parse()
+	scale := fs.Float64("scale", 1.0, "dataset scale (1.0 = EXPERIMENTS.md size)")
+	walkers := fs.Int("walkers", 0, "override walkers per vertex (0 = paper defaults)")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	csvDir := fs.String("csv", "", "also write each experiment as CSV into this directory")
+	tracePath := fs.String("trace", "", "write a JSONL trace (one span per experiment) to this file")
+	jsonPath := fs.String("json", "", "write a machine-readable BENCH artifact (schema in EXPERIMENTS.md) to this file, e.g. BENCH_bpart.json")
+	auditPath := fs.String("audit", "", "also run one audited BPart partition (twitter-sim at -scale, k=8) and write its decision audit log (JSONL, see cmd/partstat) here")
+	faultPath := fs.String("fault", "", "inject this JSON fault schedule (see FaultSpec) into every engine the experiments build")
+	ckptEvery := fs.Int("checkpoint-every", 0, "override the schedule's checkpoint interval; without -fault, >0 enables checkpointing with no faults (0 = schedule default, negative disables)")
+	deterministic := fs.Bool("deterministic", false, "zero the artifact's wall-clock fields so identical flags yield byte-identical output")
+	pprofAddr := fs.String("pprof", "", "serve /debug/pprof, /metrics and /debug/vars on this address")
+	fs.Var(&ids, "id", "experiment ID to run (repeatable; default all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, id := range bpart.Experiments() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
+	}
+
+	var faults *bpart.FaultSpec
+	if *faultPath != "" {
+		s, err := bpart.ReadFaultSpecFile(*faultPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "bench:", err)
+			return 1
+		}
+		faults = s
+	} else if *ckptEvery != 0 {
+		// Checkpointing without faults: measure pure checkpoint overhead.
+		faults = &bpart.FaultSpec{}
+	}
+	if faults != nil && *ckptEvery != 0 {
+		faults.CheckpointEvery = *ckptEvery
 	}
 
 	tracer := bpart.NopTrace()
 	reg := bpart.NewMetrics()
+	var traceClose func()
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "bench:", err)
+			return 1
 		}
 		jl := bpart.NewJSONLTrace(f)
 		tracer = jl
-		defer func() {
-			jl.Close()
+		traceClose = func() {
+			if err := jl.Close(); err != nil {
+				fmt.Fprintln(stderr, "bench: trace flush:", err)
+			}
 			f.Close()
-		}()
+		}
 	}
 	if *pprofAddr != "" {
 		addr := *pprofAddr
 		go func() {
 			if err := http.ListenAndServe(addr, bpart.DebugMux(reg)); err != nil {
-				fmt.Fprintln(os.Stderr, "bench: pprof listener:", err)
+				fmt.Fprintln(stderr, "bench: pprof listener:", err)
 			}
 		}()
-		fmt.Printf("# diagnostics on http://%s/debug/pprof/\n", addr)
+		fmt.Fprintf(stdout, "# diagnostics on http://%s/debug/pprof/\n", addr)
 	}
 	selected := map[string]bool{}
 	for _, id := range ids {
 		selected[id] = true
 	}
-	opt := bpart.ExperimentOptions{Scale: *scale, Walkers: *walkers, Tracer: tracer, Metrics: reg}
+	opt := bpart.ExperimentOptions{Scale: *scale, Walkers: *walkers, Tracer: tracer, Metrics: reg, Faults: faults}
 	artifact := bpart.NewBenchArtifact(opt)
-	fmt.Printf("# bpart experiment run: scale=%.2f\n\n", *scale)
+	fmt.Fprintf(stdout, "# bpart experiment run: scale=%.2f\n\n", *scale)
 	failed := 0
 	grand := time.Now()
 	for _, id := range bpart.Experiments() {
@@ -102,44 +140,53 @@ func main() {
 		if err != nil {
 			sp.End(bpart.TraceString("error", err.Error()))
 			artifact.RecordExperiment(id, time.Since(start).Seconds(), 0, err)
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			fmt.Fprintf(stderr, "%s: %v\n", id, err)
 			failed++
 			continue
 		}
 		sp.End(bpart.TraceInt("rows", len(tbl.Rows)))
 		artifact.RecordExperiment(id, time.Since(start).Seconds(), len(tbl.Rows), nil)
 		reg.Counter("bench_experiments_total").Inc()
-		fmt.Printf("%s   [%.1fs]\n\n", tbl, time.Since(start).Seconds())
+		fmt.Fprintf(stdout, "%s   [%.1fs]\n\n", tbl, time.Since(start).Seconds())
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, id, tbl); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: csv: %v\n", id, err)
+				fmt.Fprintf(stderr, "%s: csv: %v\n", id, err)
 				failed++
 			}
 		}
 	}
-	fmt.Printf("# total %.1fs\n", time.Since(grand).Seconds())
+	fmt.Fprintf(stdout, "# total %.1fs\n", time.Since(grand).Seconds())
 	if *auditPath != "" {
 		if err := runAudited(*auditPath, *scale); err != nil {
-			fmt.Fprintln(os.Stderr, "bench: audit:", err)
+			fmt.Fprintln(stderr, "bench: audit:", err)
 			failed++
 		} else {
-			fmt.Printf("# wrote %s\n", *auditPath)
+			fmt.Fprintf(stdout, "# wrote %s\n", *auditPath)
 		}
 	}
 	if *jsonPath != "" {
 		if err := artifact.Collect(opt, reg); err != nil {
-			fmt.Fprintln(os.Stderr, "bench: artifact:", err)
-			failed++
-		} else if err := artifact.WriteFile(*jsonPath); err != nil {
-			fmt.Fprintln(os.Stderr, "bench: artifact:", err)
+			fmt.Fprintln(stderr, "bench: artifact:", err)
 			failed++
 		} else {
-			fmt.Printf("# wrote %s\n", *jsonPath)
+			if *deterministic {
+				artifact.StripWallClock()
+			}
+			if err := artifact.WriteFile(*jsonPath); err != nil {
+				fmt.Fprintln(stderr, "bench: artifact:", err)
+				failed++
+			} else {
+				fmt.Fprintf(stdout, "# wrote %s\n", *jsonPath)
+			}
 		}
 	}
-	if failed > 0 {
-		os.Exit(1)
+	if traceClose != nil {
+		traceClose()
 	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
 }
 
 // runAudited performs one fully audited BPart partition of the paper's

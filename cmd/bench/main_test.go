@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Two bench runs with identical seeds and flags must write byte-identical
+// artifacts: the BENCH JSON (wall clocks stripped by -deterministic) and
+// the decision audit log (which never contains timestamps).
+func TestBenchDeterministicArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	files := func(tag string) (string, string) {
+		return filepath.Join(dir, tag+".json"), filepath.Join(dir, tag+".jsonl")
+	}
+	runOnce := func(tag string) ([]byte, []byte) {
+		t.Helper()
+		jsonPath, auditPath := files(tag)
+		var stdout, stderr bytes.Buffer
+		code := run([]string{
+			"-scale", "0.02", "-id", "Fig 3",
+			"-json", jsonPath, "-audit", auditPath, "-deterministic",
+		}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("bench exited %d: %s", code, stderr.String())
+		}
+		j, err := os.ReadFile(jsonPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := os.ReadFile(auditPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j, a
+	}
+	j1, a1 := runOnce("one")
+	j2, a2 := runOnce("two")
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("BENCH artifacts differ across identical runs:\n--- one ---\n%.400s\n--- two ---\n%.400s", j1, j2)
+	}
+	if !bytes.Equal(a1, a2) {
+		t.Fatal("audit logs differ across identical runs")
+	}
+	// -deterministic means no live wall clock leaks into the artifact.
+	var art struct {
+		Experiments []struct {
+			WallSeconds float64 `json:"wall_seconds"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(j1, &art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Experiments) == 0 {
+		t.Fatal("artifact recorded no experiments")
+	}
+	for _, e := range art.Experiments {
+		if e.WallSeconds != 0 {
+			t.Fatalf("wall clock survived -deterministic: %+v", art.Experiments)
+		}
+	}
+}
+
+// -fault injects the schedule: the artifact grows a recovery section and
+// the trace carries fault events.
+func TestBenchFaultFlag(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "bench.json")
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-scale", "0.02", "-id", "Fault Recovery",
+		"-fault", "../../internal/fault/testdata/crash5.json",
+		"-json", jsonPath, "-trace", tracePath, "-deterministic",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("bench exited %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Recovery []struct {
+			Scheme  string `json:"scheme"`
+			Crashes int    `json:"crashes"`
+		} `json:"recovery"`
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Recovery) == 0 {
+		t.Fatalf("no recovery section in artifact:\n%.400s", data)
+	}
+	for _, r := range art.Recovery {
+		if r.Crashes != 1 {
+			t.Fatalf("recovery row %+v, want 1 crash", r)
+		}
+	}
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fault.crash", "fault.checkpoint", "fault.run"} {
+		if !strings.Contains(string(trace), want) {
+			t.Fatalf("trace missing %s events", want)
+		}
+	}
+	if !strings.Contains(stdout.String(), "Fault Recovery") {
+		t.Fatalf("stdout missing the experiment table:\n%.400s", stdout.String())
+	}
+}
+
+// -checkpoint-every alone enables checkpointing with an empty schedule —
+// pure checkpoint overhead, no crashes.
+func TestBenchCheckpointOnly(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-scale", "0.02", "-id", "Fig 3",
+		"-checkpoint-every", "2", "-json", jsonPath, "-deterministic",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("bench exited %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Recovery []struct {
+			Crashes     int `json:"crashes"`
+			Checkpoints int `json:"checkpoints"`
+		} `json:"recovery"`
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Recovery) == 0 {
+		t.Fatal("no recovery section despite -checkpoint-every")
+	}
+	for _, r := range art.Recovery {
+		if r.Crashes != 0 || r.Checkpoints == 0 {
+			t.Fatalf("checkpoint-only row = %+v", r)
+		}
+	}
+}
+
+// A missing or corrupt fault spec is a startup error, not a silent
+// fault-free run.
+func TestBenchBadFaultSpec(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-fault", filepath.Join(t.TempDir(), "nope.json")}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing spec exited %d", code)
+	}
+	if !strings.Contains(stderr.String(), "bench:") {
+		t.Fatalf("no diagnostic on stderr: %q", stderr.String())
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if code := run([]string{"-fault", bad}, &stdout, &stderr); code != 1 {
+		t.Fatalf("corrupt spec exited %d", code)
+	}
+}
+
+func TestBenchList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, want := range []string{"Fig 13", "Fault Recovery"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Fatalf("-list missing %q:\n%s", want, stdout.String())
+		}
+	}
+}

@@ -22,6 +22,13 @@
 // cmd/partstat); -metrics prints the counter/gauge registry in Prometheus
 // text format on exit; -pprof ADDR serves /debug/pprof/*, /metrics and
 // /debug/vars on ADDR for the run's duration.
+//
+// Fault injection: -fault sched.json loads a JSON fault schedule (see
+// FaultSpec; cmd/bench shares the format) and injects it into the engine
+// runs — a PageRank recovery demo over the fresh partition, and the
+// -timeline walk when requested — then prints each run's RecoveryStats;
+// -checkpoint-every overrides (or, without -fault, enables) superstep
+// checkpointing.
 package main
 
 import (
@@ -47,6 +54,8 @@ func main() {
 		outPath   = flag.String("out", "", "write the vertex→part assignment to this file")
 		evalPath  = flag.String("eval", "", "evaluate an existing assignment file instead of partitioning")
 		timeline  = flag.String("timeline", "", "run a 5|V|-walker random walk on the partition and write the per-machine BSP timeline CSV here")
+		faultPath = flag.String("fault", "", "inject this JSON fault schedule (see FaultSpec) into the engine runs and print their RecoveryStats")
+		ckptEvery = flag.Int("checkpoint-every", 0, "override the schedule's checkpoint interval; without -fault, >0 enables checkpointing with no faults (0 = schedule default, negative disables)")
 		tracePath = flag.String("trace", "", "write a JSONL span/event trace of the run to this file")
 		auditPath = flag.String("audit", "", "write the partition decision audit log (JSONL, see cmd/partstat) to this file")
 		metrics   = flag.Bool("metrics", false, "print telemetry counters (Prometheus text format) on exit")
@@ -59,6 +68,10 @@ func main() {
 		fatal(err)
 	}
 	defer tel.finish()
+	faults, err := loadFaultSpec(*faultPath, *ckptEvery)
+	if err != nil {
+		fatal(err)
+	}
 	if *list {
 		for _, s := range bpart.Schemes() {
 			fmt.Println(s)
@@ -159,12 +172,73 @@ func main() {
 		}
 		fmt.Printf("assignment written to %s\n", *outPath)
 	}
+	if faults != nil {
+		if err := runFaulted(g, a, faults, *k, tel); err != nil {
+			fatal(err)
+		}
+	}
 	if *timeline != "" {
-		if err := writeWalkTimeline(*timeline, g, a, tel); err != nil {
+		if err := writeWalkTimeline(*timeline, g, a, faults, *k, tel); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("BSP timeline written to %s\n", *timeline)
 	}
+}
+
+// loadFaultSpec resolves the -fault / -checkpoint-every pair the same way
+// cmd/bench does: a schedule file, optionally with its checkpoint interval
+// overridden, or — with -checkpoint-every alone — an empty schedule that
+// measures pure checkpoint overhead.
+func loadFaultSpec(path string, every int) (*bpart.FaultSpec, error) {
+	var spec *bpart.FaultSpec
+	if path != "" {
+		s, err := bpart.ReadFaultSpecFile(path)
+		if err != nil {
+			return nil, err
+		}
+		spec = s
+	} else if every != 0 {
+		spec = &bpart.FaultSpec{}
+	}
+	if spec != nil && every != 0 {
+		spec.CheckpointEvery = every
+	}
+	return spec, nil
+}
+
+// runFaulted replays the schedule against a PageRank run on the fresh
+// partition and prints the recovery ledger — the CLI view of the
+// RecoveryStats the BENCH artifact records. Recovery is exact, so the
+// ranks themselves need no caveat.
+func runFaulted(g *bpart.Graph, a *bpart.Assignment, spec *bpart.FaultSpec, k int, tel *telemetryState) error {
+	e, err := bpart.NewIterationEngine(g, a, bpart.DefaultCostModel())
+	if err != nil {
+		return err
+	}
+	bpart.Instrument(e, tel.tracer, tel.reg)
+	proj := spec.ForMachines(k)
+	ctl, err := bpart.EnableFaults(e, proj)
+	if err != nil {
+		return err
+	}
+	bpart.Instrument(ctl, tel.tracer, tel.reg)
+	res, err := e.PageRank(10, 0.85)
+	if err != nil {
+		return err
+	}
+	printRecovery("pagerank", proj.Policy, res.Recovery)
+	return nil
+}
+
+// printRecovery renders one engine run's RecoveryStats on a single line.
+func printRecovery(label string, policy bpart.FaultPolicy, rs *bpart.RecoveryStats) {
+	if rs == nil {
+		return
+	}
+	fmt.Printf("%s recovery [%s]: crashes=%d checkpoints=%d (%d vertices) replayed=%d restreamed=%d lost_batches=%d slow=%d sim_time=%.0fus added_wait=%.2f%%\n",
+		label, policy, rs.Crashes, rs.Checkpoints, rs.CheckpointVertices,
+		rs.SuperstepsReplayed, rs.RestreamedVertices, rs.LostBatches, rs.SlowSupersteps,
+		rs.RecoverySimTimeUS, 100*rs.AddedWaitRatio)
 }
 
 // telemetryState bundles the optional tracer, metrics registry and
@@ -223,17 +297,30 @@ func (t *telemetryState) finish() {
 }
 
 // writeWalkTimeline runs the paper's 5|V|-walker, 4-step workload on the
-// placement and dumps the per-machine, per-iteration timing as CSV.
-func writeWalkTimeline(path string, g *bpart.Graph, a *bpart.Assignment, tel *telemetryState) error {
+// placement and dumps the per-machine, per-iteration timing as CSV. With a
+// fault schedule, the walk runs under injection so the timeline shows the
+// recovery barriers.
+func writeWalkTimeline(path string, g *bpart.Graph, a *bpart.Assignment, faults *bpart.FaultSpec, k int, tel *telemetryState) error {
 	eng, err := bpart.NewWalkEngine(g, a, bpart.DefaultCostModel())
 	if err != nil {
 		return err
 	}
 	bpart.Instrument(eng, tel.tracer, tel.reg)
+	var policy bpart.FaultPolicy
+	if faults != nil {
+		proj := faults.ForMachines(k)
+		ctl, err := bpart.EnableFaults(eng, proj)
+		if err != nil {
+			return err
+		}
+		bpart.Instrument(ctl, tel.tracer, tel.reg)
+		policy = proj.Policy
+	}
 	res, err := eng.Run(bpart.WalkConfig{Kind: bpart.SimpleWalk, WalkersPerVertex: 5, Steps: 4, Seed: 1})
 	if err != nil {
 		return err
 	}
+	printRecovery("walk", policy, res.Recovery)
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -114,3 +114,32 @@ func TestErrorPaths(t *testing.T) {
 		}
 	}
 }
+
+// A file that is not an audit log at all (every line garbage) must be a
+// hard failure with a single-line diagnostic — not empty output with
+// exit 0.
+func TestCorruptLogFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.jsonl")
+	if err := os.WriteFile(path, []byte("this is not an audit log\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	for _, args := range [][]string{
+		{"explain", "7", path},
+		{"timeline", path},
+		{"combine", path},
+	} {
+		out.Reset()
+		errb.Reset()
+		if code := run(args, &out, &errb); code != 1 {
+			t.Errorf("run(%q) on garbage = %d, want 1", args, code)
+		}
+		diag := strings.TrimRight(errb.String(), "\n")
+		if diag == "" || strings.Contains(diag, "\n") {
+			t.Errorf("run(%q) diagnostic not a single line: %q", args, errb.String())
+		}
+		if !strings.Contains(diag, "line 1") {
+			t.Errorf("run(%q) diagnostic does not locate the damage: %q", args, diag)
+		}
+	}
+}

@@ -140,6 +140,28 @@ func TestBadInvocations(t *testing.T) {
 	}
 }
 
+// A file that is not a trace at all (every line garbage) must be a hard
+// failure with a single-line diagnostic — not an empty report with exit 0.
+func TestCorruptTraceFails(t *testing.T) {
+	path := writeTrace(t, "garbage.jsonl", "this is not a trace\n")
+	for _, sub := range []string{"report", "stragglers", "critpath"} {
+		code, _, stderr := runCLI(t, sub, path)
+		if code != 1 {
+			t.Errorf("%s on garbage exit = %d, want 1", sub, code)
+		}
+		diag := strings.TrimRight(stderr, "\n")
+		if diag == "" || strings.Contains(diag, "\n") {
+			t.Errorf("%s diagnostic not a single line: %q", sub, stderr)
+		}
+		if !strings.Contains(diag, "line 1") {
+			t.Errorf("%s diagnostic does not locate the damage: %q", sub, diag)
+		}
+	}
+	if code, _, stderr := runCLI(t, "diff", path, path); code != 1 || stderr == "" {
+		t.Errorf("diff on garbage exit = %d (stderr %q), want 1 with diagnostic", code, stderr)
+	}
+}
+
 func TestTruncatedTraceStillReports(t *testing.T) {
 	path := writeTrace(t, "torn.jsonl", sampleTrace+`{"ts":"2026-08-06T10:00:01Z","type":"ev`)
 	code, out, errb := runCLI(t, "report", path)

@@ -35,6 +35,12 @@ type CostModel struct {
 	MessageCost float64
 	// Latency is a fixed per-iteration barrier/network setup cost.
 	Latency float64
+	// CheckpointCost is charged per vertex written to (or read back from)
+	// stable storage at a checkpoint or recovery barrier. Checkpoint time
+	// therefore tracks per-machine vertex count — one of the two balance
+	// dimensions — so vertex-skewed partitions pay for it at every
+	// checkpoint barrier. Unused unless fault injection is enabled.
+	CheckpointCost float64
 	// Pipelined overlaps the computation and communication phases the
 	// way some systems do (§2.1: "the computation and communication
 	// phases may be processed in a pipelined fashion"): iteration time
@@ -58,6 +64,10 @@ func DefaultCostModel() CostModel {
 		VertexCost:  0.010,
 		MessageCost: 0.040,
 		Latency:     50,
+		// A checkpointed vertex costs a few serialized words to stable
+		// storage — pricier than an in-memory update, cheaper than a
+		// network message plus ack.
+		CheckpointCost: 0.025,
 	}
 }
 
@@ -67,11 +77,38 @@ type Cluster struct {
 	numMachines int
 	owner       []int // vertex -> machine
 	model       CostModel
+	dead        []bool // machine -> permanently failed
+	disrupter   Disrupter
 
 	tr   telemetry.Tracer
 	reg  *telemetry.Registry
 	iter int // supersteps finished, for span numbering
 }
+
+// Disruption perturbs one iteration's BSP timing. A fault injector supplies
+// one per FinishIteration call; the zero value disrupts nothing.
+type Disruption struct {
+	// Slow[i] multiplies machine i's compute time (1 = nominal, 3 = a 3×
+	// transient straggler). nil means no slowdown anywhere.
+	Slow []float64
+	// Resend[i] is the fraction of machine i's outgoing messages that had
+	// to be retransmitted after a lost batch; machine i's comm time grows
+	// by that fraction. nil means no loss anywhere.
+	Resend []float64
+	// ExtraLatency is added once to the iteration's wall-clock time — the
+	// detection/resend round a lost batch forces through the barrier.
+	ExtraLatency float64
+}
+
+// Disrupter supplies the Disruption for the superstep currently being
+// finished. FinishIteration consults it once per call, on the caller's
+// goroutine, so implementations need no locking against the cluster.
+type Disrupter interface {
+	Disrupt() Disruption
+}
+
+// SetDisrupter attaches (or with nil detaches) a fault injector.
+func (c *Cluster) SetDisrupter(d Disrupter) { c.disrupter = d }
 
 // New builds a cluster of k machines owning vertices per assignment.
 func New(assignment []int, k int, model CostModel) (*Cluster, error) {
@@ -118,6 +155,61 @@ func (c *Cluster) Owner(v uint32) int { return c.owner[v] }
 
 // Model returns the cost model.
 func (c *Cluster) Model() CostModel { return c.model }
+
+// Assignment returns a copy of the current vertex→machine placement.
+func (c *Cluster) Assignment() []int { return append([]int(nil), c.owner...) }
+
+// MarkDead records a permanent machine failure. A dead machine contributes
+// no compute, no comm and no waiting to subsequent iterations — it is gone,
+// not idle. Marking requires the machine to own no vertices (Rehome first).
+func (c *Cluster) MarkDead(m int) error {
+	if m < 0 || m >= c.numMachines {
+		return fmt.Errorf("cluster: mark dead machine %d of %d", m, c.numMachines)
+	}
+	for v, p := range c.owner {
+		if p == m {
+			return fmt.Errorf("cluster: machine %d still owns vertex %d; rehome before MarkDead", m, v)
+		}
+	}
+	if c.dead == nil {
+		c.dead = make([]bool, c.numMachines)
+	}
+	c.dead[m] = true
+	return nil
+}
+
+// Dead reports whether machine m has been marked permanently failed.
+func (c *Cluster) Dead(m int) bool { return c.dead != nil && c.dead[m] }
+
+// LiveMachines counts machines not marked dead.
+func (c *Cluster) LiveMachines() int {
+	n := c.numMachines
+	for _, d := range c.dead {
+		if d {
+			n--
+		}
+	}
+	return n
+}
+
+// Rehome replaces the vertex→machine placement mid-run — degraded-mode
+// recovery restreaming a dead machine's vertices onto survivors. The new
+// assignment must cover the same vertices and place none on a dead machine.
+func (c *Cluster) Rehome(assignment []int) error {
+	if len(assignment) != len(c.owner) {
+		return fmt.Errorf("cluster: rehome %d vertices, cluster has %d", len(assignment), len(c.owner))
+	}
+	for v, p := range assignment {
+		if p < 0 || p >= c.numMachines {
+			return fmt.Errorf("cluster: rehome vertex %d to machine %d, want [0,%d)", v, p, c.numMachines)
+		}
+		if c.Dead(p) {
+			return fmt.Errorf("cluster: rehome vertex %d to dead machine %d", v, p)
+		}
+	}
+	copy(c.owner, assignment)
+	return nil
+}
 
 // Counters accumulates one iteration's per-machine work. Engines fill it
 // during a superstep (each machine writes only its own slot, so concurrent
@@ -169,15 +261,28 @@ func (c *Cluster) FinishIteration(w *Counters) IterationStats {
 		},
 	}
 	m := c.model
+	var d Disruption
+	if c.disrupter != nil {
+		d = c.disrupter.Disrupt()
+	}
 	var maxCompute, maxComm float64
 	for i := 0; i < k; i++ {
+		if c.Dead(i) {
+			continue
+		}
 		st.Compute[i] = m.StepCost*float64(w.Steps[i]) +
 			m.EdgeCost*float64(w.Edges[i]) +
 			m.VertexCost*float64(w.Vertices[i])
 		if m.Speeds != nil {
 			st.Compute[i] /= m.Speeds[i]
 		}
+		if d.Slow != nil && d.Slow[i] > 0 {
+			st.Compute[i] *= d.Slow[i]
+		}
 		st.Comm[i] = m.MessageCost * float64(w.Messages[i])
+		if d.Resend != nil && d.Resend[i] > 0 {
+			st.Comm[i] *= 1 + d.Resend[i]
+		}
 		if st.Compute[i] > maxCompute {
 			maxCompute = st.Compute[i]
 		}
@@ -192,6 +297,9 @@ func (c *Cluster) FinishIteration(w *Counters) IterationStats {
 		}
 		st.Time = phase + m.Latency
 		for i := 0; i < k; i++ {
+			if c.Dead(i) {
+				continue
+			}
 			busy := st.Compute[i]
 			if st.Comm[i] > busy {
 				busy = st.Comm[i]
@@ -201,17 +309,65 @@ func (c *Cluster) FinishIteration(w *Counters) IterationStats {
 	} else {
 		st.Time = maxCompute + maxComm + m.Latency
 		for i := 0; i < k; i++ {
+			if c.Dead(i) {
+				continue
+			}
 			st.Waiting[i] = (maxCompute - st.Compute[i]) + (maxComm - st.Comm[i])
 		}
 	}
-	c.observe(&st)
+	st.Time += d.ExtraLatency
+	c.observe(&st, "")
 	return st
+}
+
+// ChargePhase accounts a barrier-gated recovery phase — checkpoint write,
+// checkpoint restore, restream transfer — as one pseudo-iteration. busy[i]
+// is machine i's busy time in simulated µs (dead machines must be 0); the
+// phase lasts max(busy)+Latency, every faster live machine waits out the
+// slack, and the phase is observed through telemetry with its kind attached
+// so traces can separate recovery overhead from algorithm supersteps.
+func (c *Cluster) ChargePhase(kind string, busy []float64) (IterationStats, error) {
+	k := c.numMachines
+	if len(busy) != k {
+		return IterationStats{}, fmt.Errorf("cluster: phase %q busy for %d machines, want %d", kind, len(busy), k)
+	}
+	st := IterationStats{
+		Compute: make([]float64, k),
+		Comm:    make([]float64, k),
+		Waiting: make([]float64, k),
+		Work: Counters{
+			Steps:    make([]int64, k),
+			Edges:    make([]int64, k),
+			Vertices: make([]int64, k),
+			Messages: make([]int64, k),
+		},
+	}
+	var max float64
+	for i := 0; i < k; i++ {
+		if c.Dead(i) {
+			continue
+		}
+		st.Compute[i] = busy[i]
+		if busy[i] > max {
+			max = busy[i]
+		}
+	}
+	st.Time = max + c.model.Latency
+	for i := 0; i < k; i++ {
+		if c.Dead(i) {
+			continue
+		}
+		st.Waiting[i] = max - st.Compute[i]
+	}
+	c.observe(&st, kind)
+	return st, nil
 }
 
 // observe publishes one finished superstep to the attached telemetry. The
 // emitted record carries the IterationStats verbatim: per-machine compute,
-// comm and waiting (simulated µs) plus the raw work counters.
-func (c *Cluster) observe(st *IterationStats) {
+// comm and waiting (simulated µs) plus the raw work counters. phase is ""
+// for an algorithm superstep, or the recovery phase kind from ChargePhase.
+func (c *Cluster) observe(st *IterationStats, phase string) {
 	iter := c.iter
 	c.iter++
 	if c.reg != nil {
@@ -239,7 +395,7 @@ func (c *Cluster) observe(st *IterationStats) {
 		for _, x := range st.Waiting {
 			waiting += x
 		}
-		c.tr.Event("cluster.superstep",
+		attrs := []telemetry.Attr{
 			telemetry.Int("iteration", iter),
 			telemetry.Int("machines", c.numMachines),
 			telemetry.Float("time_us", st.Time),
@@ -251,7 +407,11 @@ func (c *Cluster) observe(st *IterationStats) {
 			telemetry.Any("edges", st.Work.Edges),
 			telemetry.Any("vertices", st.Work.Vertices),
 			telemetry.Any("messages", st.Work.Messages),
-		)
+		}
+		if phase != "" {
+			attrs = append(attrs, telemetry.String("phase", phase))
+		}
+		c.tr.Event("cluster.superstep", attrs...)
 	}
 }
 

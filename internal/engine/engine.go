@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"bpart/internal/cluster"
+	"bpart/internal/fault"
 	"bpart/internal/graph"
 	"bpart/internal/telemetry"
 )
@@ -28,6 +29,7 @@ type Engine struct {
 	owned [][]graph.VertexID  // vertices per machine
 	tel   telemetry.Tracer    // run-level spans; supersteps come from cl
 	reg   *telemetry.Registry // run-level histograms; superstep metrics come from cl
+	flt   *fault.Controller   // nil = fault injection disabled
 
 	trMu sync.Mutex
 	tr   *graph.Graph // transpose, built on demand (CC uses both directions)
@@ -55,6 +57,54 @@ func New(g *graph.Graph, assignment []int, machines int, model cluster.CostModel
 
 // Cluster exposes the underlying simulated cluster.
 func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
+
+// Graph returns the graph the engine computes over.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// SetFaults attaches (or with nil detaches) a fault controller. The
+// controller must have been built on this engine's cluster; every
+// subsequent algorithm run then executes under its schedule: checkpoints
+// at interval barriers, crashes rolled back (or restreamed, per policy),
+// and the run's result structs carry the RecoveryStats.
+func (e *Engine) SetFaults(ctl *fault.Controller) error {
+	if ctl != nil && ctl.Cluster() != e.cl {
+		return fmt.Errorf("engine: fault controller bound to a different cluster")
+	}
+	e.flt = ctl
+	return nil
+}
+
+// reassign rebuilds ownership-derived structures after degraded-mode
+// restreaming moved vertices off a dead machine.
+func (e *Engine) reassign(assignment []int) {
+	owned := make([][]graph.VertexID, e.cl.NumMachines())
+	for v, m := range assignment {
+		owned[m] = append(owned[m], graph.VertexID(v))
+	}
+	e.owned = owned
+}
+
+// prSnap, ccSnap and bfsSnap capture each algorithm's complete mutable
+// state at a checkpoint barrier, including the loop position: restore puts
+// the loop variable back to the checkpointed superstep, and the loop's own
+// increment then re-executes the first lost superstep.
+type prSnap struct {
+	ranks []float64
+	delta float64
+	it    int
+}
+
+type ccSnap struct {
+	labels []uint32
+	active []bool
+	it     int
+}
+
+type bfsSnap struct {
+	dist     []int32
+	frontier []graph.VertexID
+	depth    int32
+}
 
 // SetTelemetry implements telemetry.Instrumentable: the tracer receives one
 // run-level span per algorithm invocation and — via the underlying cluster
@@ -96,6 +146,8 @@ type PRResult struct {
 	// Delta is the final iteration's L1 rank change (set by the
 	// tolerance-based variants).
 	Delta float64
+	// Recovery is set when the run executed under a fault controller.
+	Recovery *fault.RecoveryStats
 }
 
 // PageRank runs the classic damped PageRank for a fixed number of
@@ -133,13 +185,31 @@ func (e *Engine) pageRankPush(iters int, damping, tol float64) (*PRResult, error
 	}
 	dangling := make([]float64, k)
 
+	res := &PRResult{}
+	deltas := make([]float64, k)
+	it := -1 // the initial snapshot is "superstep -1": restore replays from 0
+	if e.flt != nil {
+		err := e.flt.BeginRun(fault.Hooks{
+			Save: func() any {
+				return &prSnap{ranks: append([]float64(nil), ranks...), delta: res.Delta, it: it}
+			},
+			Restore: func(s any) {
+				sn := s.(*prSnap)
+				copy(ranks, sn.ranks)
+				res.Delta = sn.delta
+				it = sn.it
+			},
+			Reassign: func(dead int, assignment []int) { e.reassign(assignment) },
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	sp := e.tel.Span("engine.pagerank",
 		telemetry.Int("max_iters", iters),
 		telemetry.Float("damping", damping),
 		telemetry.Float("tol", tol))
-	res := &PRResult{}
-	deltas := make([]float64, k)
-	for it := 0; it < iters; it++ {
+	for it = 0; it < iters; it++ {
 		w := e.cl.NewCounters()
 		e.cl.Parallel(func(m int) {
 			buf := bufs[m]
@@ -192,14 +262,21 @@ func (e *Engine) pageRankPush(iters int, damping, tol float64) (*PRResult, error
 			}
 			deltas[chunk] = delta
 		})
-		res.Stats.Add(e.cl.FinishIteration(w))
 		res.Delta = 0
 		for _, d := range deltas {
 			res.Delta += d
 		}
+		res.Stats.Add(e.cl.FinishIteration(w))
+		if e.flt != nil && e.flt.EndSuperstep(&res.Stats) == fault.Restored {
+			continue
+		}
 		if tol > 0 && res.Delta < tol {
 			break
 		}
+	}
+	if e.flt != nil {
+		rec := e.flt.Finish(&res.Stats)
+		res.Recovery = &rec
 	}
 	res.Ranks = ranks
 	e.reg.Histogram("engine_run_sim_time_us").Observe(res.Stats.TotalTime())
@@ -216,6 +293,8 @@ type CCResult struct {
 	Labels     []uint32
 	Components int
 	Stats      cluster.RunStats
+	// Recovery is set when the run executed under a fault controller.
+	Recovery *fault.RecoveryStats
 }
 
 // ConnectedComponents runs frontier-based label propagation over the
@@ -235,9 +314,31 @@ func (e *Engine) ConnectedComponents(maxIters int) (*CCResult, error) {
 	for m := range bufs {
 		bufs[m] = make([]uint32, n)
 	}
-	sp := e.tel.Span("engine.cc", telemetry.Int("max_iters", maxIters))
 	res := &CCResult{}
-	for it := 0; maxIters <= 0 || it < maxIters; it++ {
+	it := -1
+	if e.flt != nil {
+		err := e.flt.BeginRun(fault.Hooks{
+			Save: func() any {
+				return &ccSnap{
+					labels: append([]uint32(nil), labels...),
+					active: append([]bool(nil), active...),
+					it:     it,
+				}
+			},
+			Restore: func(s any) {
+				sn := s.(*ccSnap)
+				copy(labels, sn.labels)
+				active = append([]bool(nil), sn.active...)
+				it = sn.it
+			},
+			Reassign: func(dead int, assignment []int) { e.reassign(assignment) },
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sp := e.tel.Span("engine.cc", telemetry.Int("max_iters", maxIters))
+	for it = 0; maxIters <= 0 || it < maxIters; it++ {
 		w := e.cl.NewCounters()
 		e.cl.Parallel(func(m int) {
 			buf := bufs[m]
@@ -288,6 +389,9 @@ func (e *Engine) ConnectedComponents(maxIters int) (*CCResult, error) {
 		})
 		active = nextActive
 		res.Stats.Add(e.cl.FinishIteration(w))
+		if e.flt != nil && e.flt.EndSuperstep(&res.Stats) == fault.Restored {
+			continue
+		}
 		anyChanged := false
 		for _, c := range changed {
 			anyChanged = anyChanged || c
@@ -295,6 +399,10 @@ func (e *Engine) ConnectedComponents(maxIters int) (*CCResult, error) {
 		if !anyChanged {
 			break
 		}
+	}
+	if e.flt != nil {
+		rec := e.flt.Finish(&res.Stats)
+		res.Recovery = &rec
 	}
 	res.Labels = labels
 	seen := map[uint32]struct{}{}
@@ -315,6 +423,8 @@ type BFSResult struct {
 	Dist    []int32 // -1 = unreachable
 	Reached int
 	Stats   cluster.RunStats
+	// Recovery is set when the run executed under a fault controller.
+	Recovery *fault.RecoveryStats
 }
 
 // BFS runs a BSP breadth-first search over out-edges from source.
@@ -331,9 +441,31 @@ func (e *Engine) BFS(source graph.VertexID) (*BFSResult, error) {
 	dist[source] = 0
 	frontier := []graph.VertexID{source}
 	discovered := make([][]graph.VertexID, k)
-	sp := e.tel.Span("engine.bfs", telemetry.Int("source", int(source)))
 	res := &BFSResult{}
-	for depth := int32(1); len(frontier) > 0; depth++ {
+	depth := int32(0)
+	if e.flt != nil {
+		err := e.flt.BeginRun(fault.Hooks{
+			Save: func() any {
+				return &bfsSnap{
+					dist:     append([]int32(nil), dist...),
+					frontier: append([]graph.VertexID(nil), frontier...),
+					depth:    depth,
+				}
+			},
+			Restore: func(s any) {
+				sn := s.(*bfsSnap)
+				copy(dist, sn.dist)
+				frontier = append([]graph.VertexID(nil), sn.frontier...)
+				depth = sn.depth
+			},
+			Reassign: func(dead int, assignment []int) { e.reassign(assignment) },
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sp := e.tel.Span("engine.bfs", telemetry.Int("source", int(source)))
+	for depth = 1; len(frontier) > 0; depth++ {
 		e.reg.Histogram("engine_bfs_frontier_vertices").Observe(float64(len(frontier)))
 		w := e.cl.NewCounters()
 		// Split the frontier by owner so each machine scans its own part.
@@ -373,6 +505,13 @@ func (e *Engine) BFS(source graph.VertexID) (*BFSResult, error) {
 			}
 		}
 		res.Stats.Add(e.cl.FinishIteration(w))
+		if e.flt != nil && e.flt.EndSuperstep(&res.Stats) == fault.Restored {
+			continue
+		}
+	}
+	if e.flt != nil {
+		rec := e.flt.Finish(&res.Stats)
+		res.Recovery = &rec
 	}
 	res.Dist = dist
 	for _, d := range dist {

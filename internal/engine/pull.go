@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"bpart/internal/fault"
 	"bpart/internal/graph"
 )
 
@@ -44,7 +45,32 @@ func (e *Engine) PageRankPull(iters int, damping float64) (*PRResult, error) {
 	dangling := make([]float64, k)
 
 	res := &PRResult{}
-	for it := 0; it < iters; it++ {
+	it := -1
+	if e.flt != nil {
+		err := e.flt.BeginRun(fault.Hooks{
+			Save: func() any {
+				return &prSnap{ranks: append([]float64(nil), ranks...), it: it}
+			},
+			Restore: func(s any) {
+				sn := s.(*prSnap)
+				copy(ranks, sn.ranks)
+				it = sn.it
+				// A restarted machine has lost its mirror caches, and a
+				// stale stamp equal to a replayed iteration number would
+				// silently suppress that mirror's message. Reset them all.
+				for m := range stamps {
+					for i := range stamps[m] {
+						stamps[m][i] = -1
+					}
+				}
+			},
+			Reassign: func(dead int, assignment []int) { e.reassign(assignment) },
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for it = 0; it < iters; it++ {
 		// Pre-phase: per-vertex contribution and dangling mass.
 		mergeParallel(n, k, func(chunk, lo, hi int) {
 			var dang float64
@@ -87,6 +113,13 @@ func (e *Engine) PageRankPull(iters int, damping float64) (*PRResult, error) {
 		})
 		ranks, next = next, ranks
 		res.Stats.Add(e.cl.FinishIteration(w))
+		if e.flt != nil && e.flt.EndSuperstep(&res.Stats) == fault.Restored {
+			continue
+		}
+	}
+	if e.flt != nil {
+		rec := e.flt.Finish(&res.Stats)
+		res.Recovery = &rec
 	}
 	res.Ranks = ranks
 	return res, nil

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"bpart/internal/fault"
 	"bpart/internal/gen"
 	"bpart/internal/metrics"
 	"bpart/internal/telemetry"
@@ -44,15 +45,35 @@ type BenchPartition struct {
 	WaitRatio  float64 `json:"wait_ratio"`
 }
 
+// BenchRecovery is one (scheme, policy) cell of the artifact's optional
+// fault-recovery section (bench -fault): the canonical PageRank workload
+// re-run under a crash schedule, with the recovery overhead broken out.
+// All fields are deterministic, so the section diffs like the rest.
+type BenchRecovery struct {
+	Graph  string `json:"graph"`
+	Scheme string `json:"scheme"`
+	K      int    `json:"k"`
+	Policy string `json:"policy"`
+	// SimTimeUS is the faulty run's total simulated time;
+	// FaultFreeSimTimeUS is the same workload without the schedule, so
+	// the difference is what the faults and their recovery cost.
+	SimTimeUS          float64 `json:"sim_time_us"`
+	FaultFreeSimTimeUS float64 `json:"fault_free_sim_time_us"`
+	fault.RecoveryStats
+}
+
 // BenchArtifact is the machine-readable benchmark record cmd/bench writes
 // (BENCH_bpart.json). Fields marshal in declaration order, so the output
-// is byte-deterministic given identical contents.
+// is byte-deterministic given identical contents. Recovery is additive
+// (schema version 1 either way): it is present exactly when the run
+// injected a fault schedule.
 type BenchArtifact struct {
 	SchemaVersion int                          `json:"schema_version"`
 	Scale         float64                      `json:"scale"`
 	Walkers       int                          `json:"walkers,omitempty"`
 	Experiments   []BenchExperiment            `json:"experiments"`
 	Partitions    []BenchPartition             `json:"partitions"`
+	Recovery      []BenchRecovery              `json:"recovery,omitempty"`
 	Histograms    []telemetry.HistogramSummary `json:"histograms"`
 }
 
@@ -87,7 +108,9 @@ const benchPartitionK = 8
 var benchWalkConfig = walk.Config{Kind: walk.Simple, WalkersPerVertex: 1, Steps: 4, Seed: 1}
 
 // Collect fills the deterministic sections: the canonical partition
-// comparison (every scheme on the LJ-sim dataset) and, when reg is
+// comparison (every scheme on the LJ-sim dataset, always fault-free so the
+// section stays regression-diffable across runs with and without -fault),
+// the fault-recovery comparison when opt.Faults is set, and, when reg is
 // non-nil, the registry's histogram summaries (sorted by name).
 func (a *BenchArtifact) Collect(opt Options, reg *telemetry.Registry) error {
 	d := gen.LJSim
@@ -95,13 +118,15 @@ func (a *BenchArtifact) Collect(opt Options, reg *telemetry.Registry) error {
 	if err != nil {
 		return err
 	}
+	base := opt
+	base.Faults = nil
 	for _, scheme := range allSchemes {
-		parts, err := assignment(d, opt, scheme, benchPartitionK)
+		parts, err := assignment(d, base, scheme, benchPartitionK)
 		if err != nil {
 			return fmt.Errorf("bench artifact: %w", err)
 		}
 		rep := metrics.NewReport(g, parts, benchPartitionK, false)
-		e, err := walkEngine(d, opt, scheme, benchPartitionK)
+		e, err := walkEngine(d, base, scheme, benchPartitionK)
 		if err != nil {
 			return fmt.Errorf("bench artifact: %w", err)
 		}
@@ -122,10 +147,73 @@ func (a *BenchArtifact) Collect(opt Options, reg *telemetry.Registry) error {
 			WaitRatio:  res.Stats.WaitRatio(),
 		})
 	}
+	if opt.Faults != nil {
+		if err := a.collectRecovery(d, opt); err != nil {
+			return err
+		}
+	}
 	if reg != nil {
 		a.Histograms = reg.HistogramSummaries()
 	}
 	return nil
+}
+
+// collectRecovery runs the canonical PageRank workload per scheme under
+// opt.Faults and records RecoveryStats next to the fault-free simulated
+// time (the Fault Recovery experiment covers the policy cross-product;
+// this section tracks the schedule exactly as supplied).
+func (a *BenchArtifact) collectRecovery(d gen.Dataset, opt Options) error {
+	spec := opt.Faults.ForMachines(benchPartitionK)
+	base := opt
+	base.Faults = nil
+	for _, scheme := range allSchemes {
+		e, err := iterEngine(d, base, scheme, benchPartitionK)
+		if err != nil {
+			return fmt.Errorf("bench artifact: %w", err)
+		}
+		free, err := e.PageRank(faultRecoveryIters, 0.85)
+		if err != nil {
+			return fmt.Errorf("bench artifact: %s pagerank: %w", scheme, err)
+		}
+		e, err = iterEngine(d, base, scheme, benchPartitionK)
+		if err != nil {
+			return fmt.Errorf("bench artifact: %w", err)
+		}
+		ctl, err := fault.NewController(e.Graph(), e.Cluster(), spec.Clone())
+		if err != nil {
+			return fmt.Errorf("bench artifact: %w", err)
+		}
+		if err := e.SetFaults(ctl); err != nil {
+			return fmt.Errorf("bench artifact: %w", err)
+		}
+		res, err := e.PageRank(faultRecoveryIters, 0.85)
+		if err != nil {
+			return fmt.Errorf("bench artifact: %s faulty pagerank: %w", scheme, err)
+		}
+		rec := res.Recovery
+		if rec == nil {
+			return fmt.Errorf("bench artifact: %s faulty run reported no RecoveryStats", scheme)
+		}
+		a.Recovery = append(a.Recovery, BenchRecovery{
+			Graph:              string(d),
+			Scheme:             scheme,
+			K:                  benchPartitionK,
+			Policy:             string(ctl.Spec().Policy),
+			SimTimeUS:          res.Stats.TotalTime(),
+			FaultFreeSimTimeUS: free.Stats.TotalTime(),
+			RecoveryStats:      *rec,
+		})
+	}
+	return nil
+}
+
+// StripWallClock zeroes every wall-clock field (bench -deterministic):
+// wall seconds are the artifact's only nondeterministic content, so a
+// stripped artifact is byte-identical across runs with the same flags.
+func (a *BenchArtifact) StripWallClock() {
+	for i := range a.Experiments {
+		a.Experiments[i].WallSeconds = 0
+	}
 }
 
 // WriteJSON marshals the artifact (indented, trailing newline).

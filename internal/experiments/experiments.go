@@ -21,6 +21,7 @@ import (
 
 	"bpart/internal/cluster"
 	"bpart/internal/engine"
+	"bpart/internal/fault"
 	"bpart/internal/gen"
 	"bpart/internal/graph"
 	"bpart/internal/partition"
@@ -45,6 +46,12 @@ type Options struct {
 	// Metrics, when non-nil, collects the engines' counters and
 	// histograms; its summaries feed the BENCH artifact.
 	Metrics *telemetry.Registry
+	// Faults, when non-nil, injects this fault schedule into every engine
+	// an experiment builds (bench -fault): each engine gets its own
+	// controller over a clone of the spec, projected onto the engine's
+	// machine count. The Fault Recovery experiment and the BENCH
+	// artifact's recovery section also honor it.
+	Faults *fault.Spec
 }
 
 func (o Options) scale() float64 {
@@ -153,6 +160,7 @@ func All() []Experiment {
 		{"Ablation Refine", AblationRefine},
 		{"Ablation Order", AblationOrder},
 		{"Ablation Hetero", AblationHetero},
+		{"Fault Recovery", FaultRecovery},
 	}
 }
 
@@ -280,7 +288,34 @@ func walkEngine(d gen.Dataset, opt Options, scheme string, k int) (*walk.Engine,
 	if opt.Tracer != nil || opt.Metrics != nil {
 		e.SetTelemetry(opt.Tracer, opt.Metrics)
 	}
+	if err := attachFaults(opt, g, e, k); err != nil {
+		return nil, err
+	}
 	return e, nil
+}
+
+// faultable is the engine-side surface attachFaults needs; both the
+// iteration and walk engines satisfy it.
+type faultable interface {
+	Cluster() *cluster.Cluster
+	SetFaults(*fault.Controller) error
+}
+
+// attachFaults wires Options.Faults (when set) into a freshly built engine:
+// its own controller over a clone of the schedule projected onto k
+// machines. Clusters too small to lose a machine run fault-free.
+func attachFaults(opt Options, g *graph.Graph, e faultable, k int) error {
+	if opt.Faults == nil || k < 2 {
+		return nil
+	}
+	ctl, err := fault.NewController(g, e.Cluster(), opt.Faults.ForMachines(k))
+	if err != nil {
+		return err
+	}
+	if opt.Tracer != nil || opt.Metrics != nil {
+		ctl.SetTelemetry(opt.Tracer, opt.Metrics)
+	}
+	return e.SetFaults(ctl)
 }
 
 func iterEngine(d gen.Dataset, opt Options, scheme string, k int) (*engine.Engine, error) {
@@ -305,6 +340,9 @@ func iterEngine(d gen.Dataset, opt Options, scheme string, k int) (*engine.Engin
 	}
 	if opt.Tracer != nil || opt.Metrics != nil {
 		e.SetTelemetry(opt.Tracer, opt.Metrics)
+	}
+	if err := attachFaults(opt, g, e, k); err != nil {
+		return nil, err
 	}
 	return e, nil
 }

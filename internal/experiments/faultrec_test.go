@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bpart/internal/fault"
+	"bpart/internal/telemetry"
+)
+
+// The Fault Recovery experiment compares every scheme under no-fault,
+// rollback and restream; the faulty rows must carry real recovery
+// accounting.
+func TestFaultRecoveryExperiment(t *testing.T) {
+	tbl, err := FaultRecovery(Options{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3*len(compareSchemes) {
+		t.Fatalf("got %d rows, want %d", len(tbl.Rows), 3*len(compareSchemes))
+	}
+	policies := map[string]int{}
+	for _, row := range tbl.Rows {
+		policies[row[1]]++
+		if row[1] == "none" {
+			continue
+		}
+		// Crash at superstep 5 of 10 with checkpoints: something must have
+		// been checkpointed and replayed.
+		if row[4] == "0" || row[5] == "0" {
+			t.Fatalf("faulty row has no recovery work: %v", row)
+		}
+		if row[1] == string(fault.Restream) && row[6] == "0" {
+			t.Fatalf("restream row moved no vertices: %v", row)
+		}
+	}
+	for _, p := range []string{"none", "rollback", "restream"} {
+		if policies[p] != len(compareSchemes) {
+			t.Fatalf("policy %s has %d rows: %v", p, policies[p], policies)
+		}
+	}
+}
+
+// Options.Faults must reach the engines an experiment builds: a faulted
+// Fig 13 run emits fault events through the shared tracer and registry.
+func TestOptionsFaultsReachEngines(t *testing.T) {
+	mem := telemetry.NewMemory()
+	reg := telemetry.NewRegistry()
+	spec := &fault.Spec{CheckpointEvery: 2, Events: []fault.Event{{Kind: fault.Crash, Step: 2, Machine: 1}}}
+	opt := Options{Scale: testScale, Tracer: mem, Metrics: reg, Faults: spec}
+	if _, err := Fig13(opt); err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.Find("fault.crash")) == 0 {
+		t.Fatal("faulted Fig 13 run emitted no fault.crash events")
+	}
+	if reg.Counter("fault_crashes_total").Value() == 0 {
+		t.Fatal("faulted Fig 13 run counted no crashes")
+	}
+}
+
+// With -fault, the artifact grows a recovery section: one row per scheme,
+// each with the fault-free comparison time; without it, the key is absent
+// (additive schema).
+func TestBenchArtifactRecoverySection(t *testing.T) {
+	spec := &fault.Spec{CheckpointEvery: 2, Events: []fault.Event{{Kind: fault.Crash, Step: 3, Machine: 1}}}
+	opt := Options{Scale: testScale, Faults: spec}
+	a := NewBenchArtifact(opt)
+	if err := a.Collect(opt, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Recovery) != len(allSchemes) {
+		t.Fatalf("got %d recovery rows, want %d", len(a.Recovery), len(allSchemes))
+	}
+	for _, r := range a.Recovery {
+		if r.Crashes != 1 || r.Checkpoints == 0 || r.SuperstepsReplayed == 0 {
+			t.Fatalf("%s recovery row = %+v", r.Scheme, r)
+		}
+		if r.SimTimeUS <= r.FaultFreeSimTimeUS {
+			t.Fatalf("%s faulty run not slower: %v <= %v", r.Scheme, r.SimTimeUS, r.FaultFreeSimTimeUS)
+		}
+		if r.Policy != string(fault.Rollback) {
+			t.Fatalf("%s policy = %q", r.Scheme, r.Policy)
+		}
+	}
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"recovery"`) || !strings.Contains(buf.String(), `"supersteps_replayed"`) {
+		t.Fatalf("recovery section missing from JSON:\n%.300s", buf.String())
+	}
+	got, err := ReadBenchArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Recovery) != len(a.Recovery) || got.Recovery[0] != a.Recovery[0] {
+		t.Fatalf("recovery section did not round-trip: %+v", got.Recovery)
+	}
+
+	plain := NewBenchArtifact(Options{Scale: testScale})
+	if err := plain.Collect(Options{Scale: testScale}, nil); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := plain.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"recovery"`) {
+		t.Fatal("fault-free artifact still carries a recovery key")
+	}
+}
+
+// StripWallClock must zero exactly the nondeterministic fields.
+func TestStripWallClock(t *testing.T) {
+	a := NewBenchArtifact(Options{Scale: testScale})
+	a.RecordExperiment("Fig 13", 1.5, 4, nil)
+	a.RecordExperiment("Fig 14", 0.25, 2, nil)
+	a.StripWallClock()
+	for _, e := range a.Experiments {
+		if e.WallSeconds != 0 {
+			t.Fatalf("wall clock survived strip: %+v", e)
+		}
+		if e.Rows == 0 {
+			t.Fatalf("strip clobbered rows: %+v", e)
+		}
+	}
+}

@@ -1,0 +1,461 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bpart/internal/cluster"
+	"bpart/internal/graph"
+	"bpart/internal/telemetry"
+)
+
+// RecoveryStats summarizes what fault handling cost a run. All fields are
+// deterministic functions of (graph, assignment, spec, engine seed).
+type RecoveryStats struct {
+	// Checkpoints is how many interval checkpoints were written (the free
+	// initial snapshot is not counted).
+	Checkpoints int `json:"checkpoints"`
+	// CheckpointVertices is the total vertex states written across all
+	// checkpoints — checkpoint volume tracks per-machine vertex balance.
+	CheckpointVertices int64 `json:"checkpoint_vertices"`
+	// Crashes is how many crash events fired.
+	Crashes int `json:"crashes"`
+	// SuperstepsReplayed counts supersteps re-executed after rollbacks.
+	SuperstepsReplayed int `json:"supersteps_replayed"`
+	// RestreamedVertices counts vertices moved off dead machines.
+	RestreamedVertices int `json:"restreamed_vertices"`
+	// LostBatches counts message batches that needed retransmission.
+	LostBatches int `json:"lost_batches"`
+	// SlowSupersteps counts supersteps that ran with a straggler active.
+	SlowSupersteps int `json:"slow_supersteps"`
+	// RecoverySimTimeUS is simulated time spent on fault machinery:
+	// checkpoint, restore and restream barriers plus replayed supersteps.
+	RecoverySimTimeUS float64 `json:"recovery_sim_time_us"`
+	// AddedWaitRatio is the share of total cluster capacity spent waiting
+	// inside that recovery machinery — the fault-attributable slice of the
+	// paper's Fig 13 metric.
+	AddedWaitRatio float64 `json:"added_wait_ratio"`
+}
+
+// Hooks are the engine-side callbacks a Controller drives. Save and Restore
+// move the algorithm's complete mutable state (ranks, frontiers, walker
+// positions, RNG streams) into and out of an opaque snapshot; Reassign is
+// called after a restream with the dead machine and the new placement so
+// the engine can rebuild ownership-derived structures.
+type Hooks struct {
+	Save     func() any
+	Restore  func(snapshot any)
+	Reassign func(dead int, assignment []int)
+}
+
+// Action tells the engine loop what happened at a superstep boundary.
+type Action int
+
+const (
+	// Continue: proceed to the next superstep normally.
+	Continue Action = iota
+	// Restored: a crash fired and state was rolled back. The engine's
+	// Restore hook has already rewound its loop variables; the loop body
+	// should just continue into the (replayed) next iteration.
+	Restored
+)
+
+// Controller orchestrates one engine run under a fault spec: it supplies
+// per-superstep disruptions to the cluster, checkpoints at interval
+// barriers, and on a crash rolls the run back (and, under Restream,
+// re-partitions the dead machine's vertices onto survivors).
+//
+// Protocol: the engine calls BeginRun once before its superstep loop, then
+// EndSuperstep after every cluster.FinishIteration, continuing the loop
+// when it returns Restored, and Finish once the loop exits. A Controller
+// may drive several consecutive runs; machines killed under Restream stay
+// dead across them.
+type Controller struct {
+	g    *graph.Graph
+	cl   *cluster.Cluster
+	spec *Spec
+
+	tr  telemetry.Tracer
+	reg *telemetry.Registry
+
+	hooks       Hooks
+	running     bool
+	step        int // logical superstep currently executing
+	lastCkpt    int // logical step of the newest checkpoint (-1 = initial)
+	snap        any
+	consumed    []bool  // one-shot events (crash, msgloss) already fired
+	replayUntil int     // logical steps below this are replays
+	owned       []int64 // per-machine owned-vertex counts
+	transpose   *graph.Graph
+
+	stats        RecoveryStats
+	recoveryWait float64
+}
+
+// NewController validates the spec against the cluster and attaches itself
+// as the cluster's disrupter. The spec is normalized in place.
+func NewController(g *graph.Graph, cl *cluster.Cluster, spec *Spec) (*Controller, error) {
+	if g == nil || cl == nil || spec == nil {
+		return nil, fmt.Errorf("fault: NewController needs graph, cluster and spec")
+	}
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(cl.NumMachines()); err != nil {
+		return nil, err
+	}
+	c := &Controller{g: g, cl: cl, spec: spec, tr: telemetry.Nop()}
+	cl.SetDisrupter(c)
+	return c, nil
+}
+
+// SetTelemetry implements telemetry.Instrumentable: fault events (crash,
+// checkpoint, restream) go to the tracer, fault_* totals to the registry.
+func (c *Controller) SetTelemetry(tr telemetry.Tracer, reg *telemetry.Registry) {
+	c.tr = telemetry.Safe(tr)
+	c.reg = reg
+}
+
+// Cluster returns the cluster this controller disrupts.
+func (c *Controller) Cluster() *cluster.Cluster { return c.cl }
+
+// Spec returns the (normalized) schedule being injected.
+func (c *Controller) Spec() *Spec { return c.spec }
+
+// BeginRun resets per-run state and takes the free initial snapshot.
+func (c *Controller) BeginRun(h Hooks) error {
+	if h.Save == nil || h.Restore == nil {
+		return fmt.Errorf("fault: BeginRun needs Save and Restore hooks")
+	}
+	if c.spec.Policy == Restream && h.Reassign == nil {
+		for _, ev := range c.spec.Events {
+			if ev.Kind == Crash {
+				return fmt.Errorf("fault: restream policy needs a Reassign hook")
+			}
+		}
+	}
+	c.hooks = h
+	c.running = true
+	c.step = 0
+	c.lastCkpt = -1
+	c.replayUntil = 0
+	c.consumed = make([]bool, len(c.spec.Events))
+	// Crash events aimed at machines already dead from a previous run on
+	// this cluster can never fire again.
+	for i, ev := range c.spec.Events {
+		if ev.Kind == Crash && c.cl.Dead(ev.Machine) {
+			c.consumed[i] = true
+		}
+	}
+	c.refreshOwned()
+	c.stats = RecoveryStats{}
+	c.recoveryWait = 0
+	// The initial state is always recoverable: loading the input is a
+	// startup cost every run pays, so this snapshot is not charged.
+	c.snap = c.hooks.Save()
+	return nil
+}
+
+func (c *Controller) refreshOwned() {
+	owned := make([]int64, c.cl.NumMachines())
+	for _, m := range c.cl.Assignment() {
+		owned[m]++
+	}
+	c.owned = owned
+}
+
+// Disrupt implements cluster.Disrupter for the logical superstep currently
+// finishing. Slowdowns are pure functions of the logical step, so a replay
+// re-experiences them (the straggler is still hot when the run retries);
+// message loss is one-shot — a batch is lost once and the retransmission
+// already paid for it.
+func (c *Controller) Disrupt() cluster.Disruption {
+	if !c.running {
+		return cluster.Disruption{}
+	}
+	k := c.cl.NumMachines()
+	var d cluster.Disruption
+	slowed := false
+	for i, ev := range c.spec.Events {
+		switch ev.Kind {
+		case Slow:
+			if c.step >= ev.Step && c.step < ev.Step+ev.Duration {
+				if d.Slow == nil {
+					d.Slow = make([]float64, k)
+					for j := range d.Slow {
+						d.Slow[j] = 1
+					}
+				}
+				d.Slow[ev.Machine] *= ev.Factor
+				slowed = true
+			}
+		case MsgLoss:
+			if ev.Step == c.step && !c.consumed[i] {
+				c.consumed[i] = true
+				if d.Resend == nil {
+					d.Resend = make([]float64, k)
+				}
+				d.Resend[ev.Machine] += ev.Frac
+				d.ExtraLatency += c.cl.Model().Latency
+				c.stats.LostBatches++
+				c.tr.Event("fault.msgloss",
+					telemetry.Int("step", c.step),
+					telemetry.Int("machine", ev.Machine),
+					telemetry.Float("frac", ev.Frac),
+				)
+			}
+		}
+	}
+	if slowed {
+		c.stats.SlowSupersteps++
+	}
+	return d
+}
+
+// EndSuperstep is called by the engine after every FinishIteration. It
+// accounts replays, fires due crashes (restoring state through the hooks),
+// and writes interval checkpoints. stats is the engine's RunStats — the
+// recovery barriers this call charges are appended to it.
+func (c *Controller) EndSuperstep(stats *cluster.RunStats) Action {
+	if !c.running {
+		return Continue
+	}
+	step := c.step
+	if step < c.replayUntil {
+		c.stats.SuperstepsReplayed++
+		if n := len(stats.Iterations); n > 0 {
+			last := &stats.Iterations[n-1]
+			c.stats.RecoverySimTimeUS += last.Time
+			for _, w := range last.Waiting {
+				c.recoveryWait += w
+			}
+		}
+	}
+	if idx := c.pendingCrash(step); idx >= 0 {
+		c.consumed[idx] = true
+		ev := c.spec.Events[idx]
+		c.stats.Crashes++
+		c.tr.Event("fault.crash",
+			telemetry.Int("step", step),
+			telemetry.Int("machine", ev.Machine),
+			telemetry.String("policy", string(c.spec.Policy)),
+			telemetry.Int("rollback_to", c.lastCkpt),
+		)
+		if c.spec.Policy == Restream && !c.cl.Dead(ev.Machine) && c.cl.LiveMachines() > 1 {
+			c.restream(ev.Machine, stats)
+		}
+		c.chargePhase("restore", stats)
+		c.hooks.Restore(c.snap)
+		if c.spec.Policy == Restream && c.hooks.Reassign != nil {
+			c.hooks.Reassign(ev.Machine, c.cl.Assignment())
+		}
+		c.replayUntil = step + 1
+		c.step = c.lastCkpt + 1
+		return Restored
+	}
+	if c.spec.CheckpointEvery > 0 && step-c.lastCkpt >= c.spec.CheckpointEvery {
+		c.snap = c.hooks.Save()
+		c.chargePhase("checkpoint", stats)
+		c.lastCkpt = step
+		c.stats.Checkpoints++
+		var total int64
+		for m, n := range c.owned {
+			if !c.cl.Dead(m) {
+				total += n
+			}
+		}
+		c.stats.CheckpointVertices += total
+		c.tr.Event("fault.checkpoint",
+			telemetry.Int("step", step),
+			telemetry.Int("vertices", int(total)),
+		)
+	}
+	c.step = step + 1
+	return Continue
+}
+
+// pendingCrash returns the index of an unconsumed crash event at step, or
+// -1. Events are sorted, so the first match is the lowest machine.
+func (c *Controller) pendingCrash(step int) int {
+	for i, ev := range c.spec.Events {
+		if ev.Kind == Crash && ev.Step == step && !c.consumed[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// chargePhase bills one checkpoint/restore barrier: every live machine is
+// busy for CheckpointCost × its owned-vertex count.
+func (c *Controller) chargePhase(kind string, stats *cluster.RunStats) {
+	busy := make([]float64, c.cl.NumMachines())
+	cost := c.cl.Model().CheckpointCost
+	for m, n := range c.owned {
+		if !c.cl.Dead(m) {
+			busy[m] = cost * float64(n)
+		}
+	}
+	c.addPhase(kind, busy, stats)
+}
+
+// addPhase runs ChargePhase and folds the result into both the engine's
+// RunStats and the controller's recovery accounting.
+func (c *Controller) addPhase(kind string, busy []float64, stats *cluster.RunStats) {
+	st, err := c.cl.ChargePhase(kind, busy)
+	if err != nil {
+		// busy is built from this cluster's machine count, so a length
+		// error is unreachable; keep the stats consistent regardless.
+		return
+	}
+	stats.Add(st)
+	c.stats.RecoverySimTimeUS += st.Time
+	for _, w := range st.Waiting {
+		c.recoveryWait += w
+	}
+}
+
+// restream permanently retires machine dead and Fennel-streams its vertices
+// onto the survivors in out-degree order (prioritized restreaming): highest
+// degree first, the vertices whose placement matters most while survivor
+// loads are least constrained. The score is the Fennel objective over the
+// paper's two-dimensional weight W_i = C·|V_i| + (1−C)·|E_i|/d̄, so the
+// degraded cluster stays balanced in both dimensions.
+func (c *Controller) restream(dead int, stats *cluster.RunStats) {
+	owner := c.cl.Assignment()
+	k := c.cl.NumMachines()
+	var lost []graph.VertexID
+	for v, m := range owner {
+		if m == dead {
+			lost = append(lost, graph.VertexID(v))
+		}
+	}
+	sort.Slice(lost, func(a, b int) bool {
+		da, db := c.g.OutDegree(lost[a]), c.g.OutDegree(lost[b])
+		if da != db {
+			return da > db
+		}
+		return lost[a] < lost[b]
+	})
+	// Survivor loads in both dimensions.
+	vCnt := make([]float64, k)
+	eCnt := make([]float64, k)
+	for v, m := range owner {
+		if m == dead {
+			continue
+		}
+		vCnt[m]++
+		eCnt[m] += float64(c.g.OutDegree(graph.VertexID(v)))
+	}
+	avgDeg := c.g.AvgDegree()
+	if avgDeg <= 0 {
+		avgDeg = 1
+	}
+	const (
+		gamma = 1.5
+		cmix  = 0.5 // paper's balance mix between vertices and edges
+	)
+	n, e := float64(c.g.NumVertices()), float64(c.g.NumEdges())
+	alpha := e * math.Pow(float64(k), gamma-1) / math.Pow(n, gamma)
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		alpha = 1
+	}
+	if c.transpose == nil {
+		// In-neighbours matter to affinity as much as out-neighbours;
+		// build the reverse adjacency once per controller and reuse it
+		// across crashes.
+		c.transpose = c.g.Transpose()
+	}
+	received := make([]float64, k)
+	receivedEdges := make([]float64, k)
+	weight := func(i int) float64 { return cmix*vCnt[i] + (1-cmix)*eCnt[i]/avgDeg }
+	aff := make([]float64, k)
+	for _, v := range lost {
+		for i := range aff {
+			aff[i] = 0
+		}
+		for _, u := range c.g.Neighbors(v) {
+			if m := owner[u]; m != dead {
+				aff[m]++
+			}
+		}
+		for _, u := range c.transpose.Neighbors(v) {
+			if m := owner[u]; m != dead {
+				aff[m]++
+			}
+		}
+		best := -1
+		var bestScore, bestW float64
+		for i := 0; i < k; i++ {
+			if i == dead || c.cl.Dead(i) {
+				continue
+			}
+			w := weight(i)
+			score := aff[i] - alpha*gamma*math.Pow(w, gamma-1)
+			if best < 0 || score > bestScore || (score == bestScore && w < bestW) {
+				best, bestScore, bestW = i, score, w
+			}
+		}
+		owner[v] = best
+		vCnt[best]++
+		eCnt[best] += float64(c.g.OutDegree(v))
+		received[best]++
+		receivedEdges[best] += float64(c.g.OutDegree(v))
+	}
+	// Commit the new placement, retire the machine, and bill the transfer:
+	// each survivor ingests its received vertex states (checkpoint read +
+	// message) and rebuilds their adjacency (edge cost).
+	if err := c.cl.Rehome(owner); err != nil {
+		// owner was derived from this cluster's own assignment and only
+		// ever points at live survivors, so this is unreachable; a spec
+		// bug must not kill the run silently, though.
+		c.tr.Event("fault.error", telemetry.String("err", err.Error()))
+		return
+	}
+	if err := c.cl.MarkDead(dead); err != nil {
+		c.tr.Event("fault.error", telemetry.String("err", err.Error()))
+		return
+	}
+	model := c.cl.Model()
+	busy := make([]float64, k)
+	for i := 0; i < k; i++ {
+		busy[i] = received[i]*(model.CheckpointCost+model.MessageCost) + receivedEdges[i]*model.EdgeCost
+	}
+	c.addPhase("restream", busy, stats)
+	c.refreshOwned()
+	c.stats.RestreamedVertices += len(lost)
+	c.tr.Event("fault.restream",
+		telemetry.Int("machine", dead),
+		telemetry.Int("vertices", len(lost)),
+		telemetry.Int("survivors", c.cl.LiveMachines()),
+	)
+}
+
+// Finish closes the run, derives AddedWaitRatio against the final RunStats,
+// publishes fault_* registry totals, and returns the stats.
+func (c *Controller) Finish(stats *cluster.RunStats) RecoveryStats {
+	c.running = false
+	k := c.cl.NumMachines()
+	if total := stats.TotalTime() * float64(k); total > 0 {
+		c.stats.AddedWaitRatio = c.recoveryWait / total
+	}
+	if c.reg != nil {
+		c.reg.Counter("fault_checkpoints_total").Add(int64(c.stats.Checkpoints))
+		c.reg.Counter("fault_checkpoint_vertices_total").Add(c.stats.CheckpointVertices)
+		c.reg.Counter("fault_crashes_total").Add(int64(c.stats.Crashes))
+		c.reg.Counter("fault_supersteps_replayed_total").Add(int64(c.stats.SuperstepsReplayed))
+		c.reg.Counter("fault_restreamed_vertices_total").Add(int64(c.stats.RestreamedVertices))
+		c.reg.Counter("fault_lost_batches_total").Add(int64(c.stats.LostBatches))
+		c.reg.Counter("fault_slow_supersteps_total").Add(int64(c.stats.SlowSupersteps))
+		c.reg.Counter("fault_recovery_sim_time_us_total").Add(int64(c.stats.RecoverySimTimeUS))
+	}
+	c.tr.Event("fault.run",
+		telemetry.Int("checkpoints", c.stats.Checkpoints),
+		telemetry.Int("crashes", c.stats.Crashes),
+		telemetry.Int("supersteps_replayed", c.stats.SuperstepsReplayed),
+		telemetry.Int("restreamed_vertices", c.stats.RestreamedVertices),
+		telemetry.Float("recovery_sim_time_us", c.stats.RecoverySimTimeUS),
+		telemetry.Float("added_wait_ratio", c.stats.AddedWaitRatio),
+	)
+	return c.stats
+}

@@ -271,6 +271,26 @@ func TestReadLogTornFinalLine(t *testing.T) {
 	}
 }
 
+// A file whose only line is garbage is not a truncated audit log — it is
+// not an audit log at all, and must be a hard error (the CLIs turn this
+// into a non-zero exit instead of silently printing nothing).
+func TestReadLogAllGarbage(t *testing.T) {
+	for _, in := range []string{
+		"this is not an audit log\n",
+		`{"type":"win`,
+		`{"not":"typed"}` + "\n",
+	} {
+		if _, err := ReadLog(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadLog(%q) accepted a log with no usable records", in)
+		}
+	}
+	// The genuinely empty file stays fine: a run that wrote nothing yet.
+	log, err := ReadLog(strings.NewReader(""))
+	if err != nil || log.Truncated {
+		t.Fatalf("empty input: err=%v truncated=%v", err, log != nil && log.Truncated)
+	}
+}
+
 func TestReadLogVersionMismatch(t *testing.T) {
 	in := `{"type":"audit_header","version":99}
 {"type":"window","layer":0,"index":0,"placed":1,"piece_v":[1],"piece_e":[0],"v_bias":0,"e_bias":0,"cut_ratio":0,"resolved_arcs":0,"cut_arcs":0}

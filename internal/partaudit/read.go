@@ -54,6 +54,11 @@ func (l *Log) PieceToPart(layer int) ([]int, bool) {
 		if lr.Layer != layer {
 			continue
 		}
+		if lr.Pieces < 0 {
+			// Malformed record (hand-edited or fuzzed log); there is no
+			// mapping to reconstruct.
+			return nil, false
+		}
 		m := make([]int, lr.Pieces)
 		for i := range m {
 			m[i] = -1
@@ -106,9 +111,22 @@ func ReadLog(r io.Reader) (*Log, error) {
 		return nil, fmt.Errorf("partaudit: read: %w", err)
 	}
 	if pending != nil {
+		// A torn tail is only tolerable when it follows a usable prefix; if
+		// the very first line is garbage the file is not an audit log at
+		// all, and "empty but truncated" would hide that from callers.
+		if log.empty() {
+			return nil, fmt.Errorf("partaudit: line %d: %w (no valid audit records precede it)", pending.line, pending.err)
+		}
 		log.Truncated = true
 	}
 	return log, nil
+}
+
+// empty reports whether not a single usable record was parsed.
+func (l *Log) empty() bool {
+	return l.Header == nil && l.Final == nil &&
+		len(l.Decisions) == 0 && len(l.Windows) == 0 &&
+		len(l.Merges) == 0 && len(l.Layers) == 0
 }
 
 // ReadLogFile parses the audit log at path.

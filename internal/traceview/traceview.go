@@ -175,6 +175,12 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("traceview: read: %w", err)
 	}
 	if pending != nil {
+		// A torn tail is only tolerable when it follows a usable prefix; if
+		// the very first line is garbage the file is not a trace at all,
+		// and "empty but truncated" would hide that from callers.
+		if len(tr.Records) == 0 {
+			return nil, fmt.Errorf("traceview: line %d: %w (no valid trace records precede it)", pending.line, pending.err)
+		}
 		tr.Truncated = true
 	}
 	return tr, nil

@@ -98,6 +98,23 @@ func TestReadRejectsUnknownType(t *testing.T) {
 	}
 }
 
+// A file whose only line is garbage is not a truncated trace — it is not
+// a trace at all, and must be a hard error (cmd/tracestat turns this into
+// a non-zero exit instead of silently printing an empty report).
+func TestReadAllGarbageRejected(t *testing.T) {
+	for _, in := range []string{
+		"this is not a trace\n",
+		`{"ts":"2026-08-06T10:00:00Z","type":"ev`,
+		`{"ts":"bad-time","type":"event","name":"a"}` + "\n",
+	} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) accepted a trace with no usable records", in)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("Read(%q) error does not locate the damage: %v", in, err)
+		}
+	}
+}
+
 func TestReadEmptyTrace(t *testing.T) {
 	tr, err := Read(strings.NewReader(""))
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"bpart/internal/cluster"
+	"bpart/internal/fault"
 	"bpart/internal/graph"
 	"bpart/internal/telemetry"
 	"bpart/internal/xrand"
@@ -158,6 +159,7 @@ type Engine struct {
 	alias *aliasCache         // per-vertex transition tables for BiasedWalk
 	tel   telemetry.Tracer    // run-level spans; supersteps come from cl
 	reg   *telemetry.Registry // run-level histograms; superstep metrics come from cl
+	flt   *fault.Controller   // nil = fault injection disabled
 }
 
 // New builds a walk engine for g with the given vertex→machine assignment.
@@ -181,6 +183,19 @@ func New(g *graph.Graph, assignment []int, machines int, model cluster.CostModel
 
 // Cluster exposes the underlying simulated cluster.
 func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
+
+// Graph returns the graph the engine walks over.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// SetFaults attaches (or with nil detaches) a fault controller built on
+// this engine's cluster. Subsequent Runs execute under its schedule.
+func (e *Engine) SetFaults(ctl *fault.Controller) error {
+	if ctl != nil && ctl.Cluster() != e.cl {
+		return fmt.Errorf("walk: fault controller bound to a different cluster")
+	}
+	e.flt = ctl
+	return nil
+}
 
 // SetTelemetry implements telemetry.Instrumentable: the tracer receives one
 // "walk.run" span per Run and — via the underlying cluster — one
@@ -218,6 +233,71 @@ type Result struct {
 	Traffic [][]int64
 	// Finished counts walkers that terminated (all of them, at the end).
 	Finished int64
+	// Recovery is set when the run executed under a fault controller.
+	// TotalSteps and Stats then include replayed supersteps — recovery
+	// re-executes real work, and the run pays for it.
+	Recovery *fault.RecoveryStats
+}
+
+// walkSnap is a deep checkpoint of a walk run's mutable state. Walker
+// paths and finished-path lists are cloned because walkers append to them
+// in place after the snapshot; RNGs are plain value structs, so copying
+// them freezes each machine's stream position exactly.
+type walkSnap struct {
+	active   [][]walker
+	finished [][][]graph.VertexID
+	rngs     []xrand.RNG
+	visits   []int64
+	paths    [][]graph.VertexID
+	traffic  [][]int64
+	iter     int
+}
+
+func clonePath(p []graph.VertexID) []graph.VertexID {
+	if p == nil {
+		return nil
+	}
+	return append(make([]graph.VertexID, 0, len(p)), p...)
+}
+
+func cloneWalkers(ws [][]walker) [][]walker {
+	out := make([][]walker, len(ws))
+	for m, list := range ws {
+		cp := make([]walker, len(list))
+		copy(cp, list)
+		for i := range cp {
+			cp[i].path = clonePath(cp[i].path)
+		}
+		out[m] = cp
+	}
+	return out
+}
+
+func clonePaths(ps [][]graph.VertexID) [][]graph.VertexID {
+	if ps == nil {
+		return nil
+	}
+	out := make([][]graph.VertexID, len(ps))
+	for i, p := range ps {
+		out[i] = clonePath(p)
+	}
+	return out
+}
+
+func clonePathLists(fs [][][]graph.VertexID) [][][]graph.VertexID {
+	out := make([][][]graph.VertexID, len(fs))
+	for m, list := range fs {
+		out[m] = clonePaths(list)
+	}
+	return out
+}
+
+func cloneTraffic(t [][]int64) [][]int64 {
+	out := make([][]int64, len(t))
+	for i, row := range t {
+		out[i] = append([]int64(nil), row...)
+	}
+	return out
 }
 
 // Run executes the configured walk to completion.
@@ -273,15 +353,73 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 		outbox[m] = make([][]walker, k)
 	}
 
-	sp := e.tel.Span("walk.run",
-		telemetry.String("kind", cfg.Kind.String()),
-		telemetry.Int("walkers", totalWalkers),
-		telemetry.Int("steps", cfg.Steps))
 	res := &Result{Visits: visits, Traffic: make([][]int64, k)}
 	for m := range res.Traffic {
 		res.Traffic[m] = make([]int64, k)
 	}
-	for iter := 0; ; iter++ {
+	iter := -1
+	if e.flt != nil {
+		err := e.flt.BeginRun(fault.Hooks{
+			Save: func() any {
+				sn := &walkSnap{
+					active:   cloneWalkers(active),
+					finished: clonePathLists(finished),
+					rngs:     make([]xrand.RNG, k),
+					paths:    clonePaths(res.Paths),
+					traffic:  cloneTraffic(res.Traffic),
+					iter:     iter,
+				}
+				for m := range rngs {
+					sn.rngs[m] = *rngs[m]
+				}
+				if visits != nil {
+					sn.visits = append([]int64(nil), visits...)
+				}
+				return sn
+			},
+			Restore: func(s any) {
+				sn := s.(*walkSnap)
+				active = cloneWalkers(sn.active)
+				finished = clonePathLists(sn.finished)
+				for m := range rngs {
+					*rngs[m] = sn.rngs[m]
+				}
+				if visits != nil {
+					copy(visits, sn.visits)
+				}
+				res.Paths = clonePaths(sn.paths)
+				for i := range res.Traffic {
+					copy(res.Traffic[i], sn.traffic[i])
+				}
+				iter = sn.iter
+			},
+			Reassign: func(dead int, assignment []int) {
+				// Rebuild ownership and migrate stranded walkers onto
+				// their vertices' new owners, machine by machine in
+				// order, so the re-bucketing is deterministic.
+				owned := make([][]graph.VertexID, k)
+				for v, m := range assignment {
+					owned[m] = append(owned[m], graph.VertexID(v))
+				}
+				e.owned = owned
+				rebucketed := make([][]walker, k)
+				for m := 0; m < k; m++ {
+					for _, wk := range active[m] {
+						rebucketed[e.cl.Owner(wk.cur)] = append(rebucketed[e.cl.Owner(wk.cur)], wk)
+					}
+				}
+				active = rebucketed
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sp := e.tel.Span("walk.run",
+		telemetry.String("kind", cfg.Kind.String()),
+		telemetry.Int("walkers", totalWalkers),
+		telemetry.Int("steps", cfg.Steps))
+	for iter = 0; ; iter++ {
 		total := 0
 		for m := 0; m < k; m++ {
 			total += len(active[m])
@@ -365,6 +503,13 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 			}
 		}
 		res.Stats.Add(e.cl.FinishIteration(w))
+		if e.flt != nil && e.flt.EndSuperstep(&res.Stats) == fault.Restored {
+			continue
+		}
+	}
+	if e.flt != nil {
+		rec := e.flt.Finish(&res.Stats)
+		res.Recovery = &rec
 	}
 	if cfg.CollectPaths {
 		for m := 0; m < k; m++ {
