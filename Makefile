@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint test race bench
+.PHONY: all build lint test race bench baselines
 
 all: build lint test
 
@@ -24,3 +24,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# baselines regenerates the committed perf baselines CI diffs against
+# (see the observability job in .github/workflows/ci.yml). Run after an
+# intentional performance change and commit the result; the BENCH artifact
+# is -deterministic, so an unchanged simulation reproduces it byte for
+# byte.
+baselines:
+	$(GO) run ./cmd/bench -scale 0.05 -id "Fig 13" \
+		-trace baselines/trace_fig13.jsonl \
+		-json baselines/BENCH_bpart.json -deterministic

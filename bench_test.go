@@ -207,6 +207,41 @@ func benchPageRank(b *testing.B, withIdleFaults bool) {
 func BenchmarkPageRankPlain(b *testing.B)     { benchPageRank(b, false) }
 func BenchmarkPageRankFaultIdle(b *testing.B) { benchPageRank(b, true) }
 
+// Comm-matrix overhead: the engines' hot loops carry a per-message
+// `prow != nil` branch for the src→dst matrix. With capture off (the
+// default) the matrix is never allocated and the variant must stay within
+// noise (<5%) of the plain benchmark; the CommOn variant is the live
+// capture cost, for reference rather than as a gate. Compare with:
+//
+//	go test -bench 'PageRankCommOff|PageRankCommOn' -count 10 .
+func benchPageRankComm(b *testing.B, capture bool) {
+	b.Helper()
+	g, err := Preset(TwitterSim, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := Partition(g, "Chunk-V", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewIterationEngine(g, a, DefaultCostModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Cluster().SetCommMatrix(capture)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.PageRank(10, 0.85); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageRankCommOff(b *testing.B) { benchPageRankComm(b, false) }
+func BenchmarkPageRankCommOn(b *testing.B)  { benchPageRankComm(b, true) }
+
+func BenchmarkCommMatrix(b *testing.B) { benchExperiment(b, "Comm Matrix") }
+
 // And the live recovery cost (crash mid-run, rollback, replay), for
 // reference rather than as a gate.
 func BenchmarkPageRankRecovered(b *testing.B) {

@@ -6,15 +6,20 @@
 //	tracestat report [-html out.html] [-supersteps n] [-tree-spans n] trace.jsonl
 //	tracestat stragglers trace.jsonl
 //	tracestat critpath trace.jsonl
+//	tracestat comm [-html out.html] [-audit audit.jsonl] [-supersteps n] [-matrix n] trace.jsonl
 //	tracestat diff [-fail-above pct] baseline.jsonl candidate.jsonl
 //
 // report prints the full analysis: span aggregates, the reconstructed
 // phase tree and, per BSP run, the WaitRatio decomposition, straggler
 // attribution and critical-path split; -html additionally writes a
 // self-contained timeline page. stragglers and critpath print just their
-// section. diff compares two traces and, with -fail-above, exits 1 when
-// any gated simulation metric regressed by more than the given percent —
-// the CI regression gate.
+// section. comm analyzes the src→dst comm matrices of a matrix-capture run
+// (Cluster.SetCommMatrix): the summed matrix, in/out skew, hot-pair
+// attribution and per-superstep evolution, with -audit adding the
+// predicted-vs-observed cut reconciliation and -html a heatmap page. diff
+// compares two traces and, with -fail-above, exits 1 when any gated
+// simulation metric regressed by more than the given percent — the CI
+// regression gate.
 package main
 
 import (
@@ -23,6 +28,8 @@ import (
 	"io"
 	"os"
 
+	"bpart/internal/commview"
+	"bpart/internal/partaudit"
 	"bpart/internal/traceview"
 )
 
@@ -35,6 +42,7 @@ func usage(stderr io.Writer) int {
   tracestat report [-html out.html] [-supersteps n] [-tree-spans n] trace.jsonl
   tracestat stragglers trace.jsonl
   tracestat critpath trace.jsonl
+  tracestat comm [-html out.html] [-audit audit.jsonl] [-supersteps n] [-matrix n] trace.jsonl
   tracestat diff [-fail-above pct] baseline.jsonl candidate.jsonl`)
 	return 2
 }
@@ -51,6 +59,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdRuns(args[1:], stdout, stderr, "stragglers")
 	case "critpath":
 		return cmdRuns(args[1:], stdout, stderr, "critpath")
+	case "comm":
+		return cmdComm(args[1:], stdout, stderr)
 	case "diff":
 		return cmdDiff(args[1:], stdout, stderr)
 	default:
@@ -137,6 +147,57 @@ func cmdRuns(args []string, stdout, stderr io.Writer, section string) int {
 		if err != nil {
 			return fail(stderr, err)
 		}
+	}
+	return 0
+}
+
+func cmdComm(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("comm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	htmlPath := fs.String("html", "", "also write a self-contained heatmap page to this file")
+	auditPath := fs.String("audit", "", "partaudit log to reconcile observed traffic against the predicted cut")
+	maxSteps := fs.Int("supersteps", 0, "max supersteps in the evolution table (0 = default)")
+	maxMatrix := fs.Int("matrix", 0, "max machine count for which the full matrix is printed (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		return usage(stderr)
+	}
+	log, err := commview.ReadFile(fs.Arg(0))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	opt := commview.ReportOptions{MaxSupersteps: *maxSteps, MaxMatrix: *maxMatrix}
+	if *auditPath != "" {
+		audit, err := partaudit.ReadLogFile(*auditPath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		opt.Audit = audit
+	}
+	// The reconciliation invariant is checked on every read: a trace whose
+	// matrices disagree with the flat counters is corrupted, and analyzing
+	// it would dress broken instrumentation up as a topology finding.
+	if err := commview.CheckMessages(log.Steps); err != nil {
+		return fail(stderr, err)
+	}
+	if err := commview.WriteReport(stdout, log, opt); err != nil {
+		return fail(stderr, err)
+	}
+	if *htmlPath != "" {
+		f, err := os.Create(*htmlPath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := commview.WriteHTML(f, log, "bpart comm topology"); err != nil {
+			f.Close()
+			return fail(stderr, err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "\nwrote %s\n", *htmlPath)
 	}
 	return 0
 }

@@ -122,6 +122,92 @@ func TestDiffRegressionGate(t *testing.T) {
 	}
 }
 
+// commTrace carries pairs matrices (matrix capture on) with a recovery
+// phase superstep.
+const commTrace = `{"ts":"2026-08-06T10:00:00Z","type":"event","name":"cluster.superstep","attrs":{"iteration":0,"machines":2,"time_us":100,"compute":[50,40],"comm":[20,10],"waiting":[0,10],"steps":[0,0],"edges":[10,10],"vertices":[2,2],"messages":[3,1],"pairs":[[0,3],[1,0]]}}
+{"ts":"2026-08-06T10:00:00.0001Z","type":"event","name":"cluster.superstep","attrs":{"iteration":1,"machines":2,"time_us":100,"compute":[10,0],"comm":[0,0],"waiting":[0,10],"steps":[0,0],"edges":[0,0],"vertices":[0,0],"messages":[5,0],"pairs":[[0,5],[0,0]],"phase":"restream"}}
+`
+
+// commAudit is a minimal partaudit log with a final cut ratio to reconcile
+// against.
+const commAudit = `{"type":"final","k":2,"v":[2,2],"e":[10,10],"v_bias":0,"e_bias":0,"cut_ratio":0.25,"refine_moves":0}
+`
+
+func TestCommSubcommand(t *testing.T) {
+	path := writeTrace(t, "comm.jsonl", commTrace)
+	code, out, errb := runCLI(t, "comm", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{
+		"RUN 1: 2 machines, 2 supersteps (1 recovery), 9 cross-machine messages",
+		"comm imbalance ratio", "hot pair M0->M1", "src\\dst matrix",
+		"per-machine out/in skew", "[restream]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comm output missing %q:\n%s", want, out)
+		}
+	}
+	// Byte-determinism across reruns — the ISSUE's acceptance criterion.
+	_, out2, _ := runCLI(t, "comm", path)
+	if out != out2 {
+		t.Fatal("comm output not byte-identical across reruns")
+	}
+}
+
+func TestCommAuditReconciliation(t *testing.T) {
+	path := writeTrace(t, "comm.jsonl", commTrace)
+	auditPath := writeTrace(t, "audit.jsonl", commAudit)
+	code, out, errb := runCLI(t, "comm", "-audit", auditPath, path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"reconciliation vs partitioner", "observed cut share", "predicted cut ratio 0.2500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comm -audit output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCommHTMLFlag(t *testing.T) {
+	path := writeTrace(t, "comm.jsonl", commTrace)
+	htmlPath := filepath.Join(t.TempDir(), "comm.html")
+	code, _, errb := runCLI(t, "comm", "-html", htmlPath, path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	data, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Fatal("HTML artifact missing heatmap SVG")
+	}
+}
+
+func TestCommNoMatrices(t *testing.T) {
+	// A valid trace without pairs attrs (capture off): informative, exit 0.
+	path := writeTrace(t, "plain.jsonl", sampleTrace)
+	code, out, errb := runCLI(t, "comm", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "matrix capture was off") {
+		t.Fatalf("comm output:\n%s", out)
+	}
+}
+
+func TestCommRejectsInconsistentMatrix(t *testing.T) {
+	// Row sum 3 disagrees with messages[0]=9: corrupted instrumentation
+	// must be a hard error, not a report.
+	bad := `{"ts":"2026-08-06T10:00:00Z","type":"event","name":"cluster.superstep","attrs":{"iteration":0,"machines":2,"time_us":1,"compute":[1,1],"comm":[1,1],"waiting":[0,0],"steps":[0,0],"edges":[1,1],"vertices":[1,1],"messages":[9,0],"pairs":[[0,3],[0,0]]}}` + "\n"
+	path := writeTrace(t, "bad.jsonl", bad)
+	code, _, stderr := runCLI(t, "comm", path)
+	if code != 1 || !strings.Contains(stderr, "row sum") {
+		t.Fatalf("exit %d, stderr %q; want 1 with row-sum diagnostic", code, stderr)
+	}
+}
+
 func TestBadInvocations(t *testing.T) {
 	if code, _, _ := runCLI(t); code != 2 {
 		t.Errorf("no args exit = %d, want 2", code)

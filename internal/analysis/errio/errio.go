@@ -1,6 +1,6 @@
 // Package errio forbids discarding writer and flush errors in the I/O
 // packages (internal/gio, internal/telemetry, internal/cluster,
-// internal/partaudit).
+// internal/partaudit, internal/commview).
 //
 // Graph dumps, assignment files, JSONL traces and CSV timelines are the
 // artifacts experiments are reproduced from; a full disk or closed pipe
@@ -22,8 +22,9 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "errio",
 	Doc: "forbid discarded writer/flush errors in I/O packages\n\n" +
-		"In internal/gio, internal/telemetry, internal/cluster and " +
-		"internal/partaudit, errors from Write*/Flush/Sync/fmt.Fprint* calls " +
+		"In internal/gio, internal/telemetry, internal/cluster, " +
+		"internal/partaudit and internal/commview, errors from " +
+		"Write*/Flush/Sync/fmt.Fprint* calls " +
 		"must be checked; bytes.Buffer, strings.Builder and " +
 		"http.ResponseWriter sinks are exempt.",
 	Run: run,
@@ -32,7 +33,7 @@ var Analyzer = &analysis.Analyzer{
 // scoped reports whether the package writes artifacts worth protecting.
 // Testdata fixtures mirror the layout (testdata/errio/gio).
 func scoped(path string) bool {
-	for _, s := range []string{"/gio", "/telemetry", "/cluster", "/partaudit"} {
+	for _, s := range []string{"/gio", "/telemetry", "/cluster", "/partaudit", "/commview"} {
 		if strings.Contains(path, s) {
 			return true
 		}

@@ -15,6 +15,10 @@ func TestSeededViolationsPartaudit(t *testing.T) {
 	analysistest.Run(t, "../testdata/errio/partaudit", errio.Analyzer)
 }
 
+func TestSeededViolationsCommview(t *testing.T) {
+	analysistest.Run(t, "../testdata/errio/commview", errio.Analyzer)
+}
+
 func TestOutOfScopePackagesAreClean(t *testing.T) {
 	analysistest.Run(t, "../testdata/errio/other", errio.Analyzer)
 }

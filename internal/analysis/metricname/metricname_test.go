@@ -14,3 +14,7 @@ func TestSeededViolations(t *testing.T) {
 func TestSeededViolationsPartaudit(t *testing.T) {
 	analysistest.Run(t, "../testdata/metricname/partaudit", metricname.Analyzer)
 }
+
+func TestSeededViolationsCommview(t *testing.T) {
+	analysistest.Run(t, "../testdata/metricname/commview", metricname.Analyzer)
+}

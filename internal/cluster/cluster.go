@@ -83,6 +83,12 @@ type Cluster struct {
 	tr   telemetry.Tracer
 	reg  *telemetry.Registry
 	iter int // supersteps finished, for span numbering
+
+	// commMatrix enables per-superstep src→dst message matrix capture
+	// (Counters.Pairs). Off by default: the K×K matrix costs one write per
+	// cross-machine message, so only runs that want communication-topology
+	// observability (tracestat comm, the BENCH comm section) pay for it.
+	commMatrix bool
 }
 
 // Disruption perturbs one iteration's BSP timing. A fault injector supplies
@@ -146,6 +152,17 @@ func (c *Cluster) SetTelemetry(tr telemetry.Tracer, reg *telemetry.Registry) {
 	c.tr = telemetry.Safe(tr)
 	c.reg = reg
 }
+
+// SetCommMatrix enables (or disables) per-superstep src→dst message matrix
+// capture. When on, NewCounters allocates Counters.Pairs and the engines
+// record each cross-machine message's destination alongside the existing
+// per-machine totals; FinishIteration then publishes the matrix through
+// telemetry ("pairs" attr, comm_* metrics). Enable before the run starts —
+// counters already handed to an engine keep their allocation.
+func (c *Cluster) SetCommMatrix(on bool) { c.commMatrix = on }
+
+// CommMatrixEnabled reports whether src→dst matrix capture is on.
+func (c *Cluster) CommMatrixEnabled() bool { return c.commMatrix }
 
 // NumMachines returns the machine count.
 func (c *Cluster) NumMachines() int { return c.numMachines }
@@ -219,16 +236,50 @@ type Counters struct {
 	Edges    []int64 // edges traversed
 	Vertices []int64 // vertex updates applied
 	Messages []int64 // cross-machine messages sent
+
+	// Pairs, when non-nil, is the K×K src→dst message matrix:
+	// Pairs[i][j] counts the messages charged to machine i whose remote
+	// peer is machine j. Row i belongs to machine i (same lock-free
+	// discipline as the flat counters), the diagonal stays zero, and row
+	// sums equal Messages exactly — the reconciliation invariant
+	// commview.CheckMessages enforces. nil unless SetCommMatrix(true).
+	Pairs [][]int64
 }
 
 // NewCounters returns zeroed counters for this cluster.
 func (c *Cluster) NewCounters() *Counters {
-	return &Counters{
+	w := &Counters{
 		Steps:    make([]int64, c.numMachines),
 		Edges:    make([]int64, c.numMachines),
 		Vertices: make([]int64, c.numMachines),
 		Messages: make([]int64, c.numMachines),
 	}
+	if c.commMatrix {
+		w.Pairs = newPairs(c.numMachines)
+	}
+	return w
+}
+
+// newPairs allocates a zeroed k×k matrix backed by one contiguous slice.
+func newPairs(k int) [][]int64 {
+	flat := make([]int64, k*k)
+	rows := make([][]int64, k)
+	for i := range rows {
+		rows[i] = flat[i*k : (i+1)*k : (i+1)*k]
+	}
+	return rows
+}
+
+// clonePairs deep-copies a pair matrix (nil in, nil out).
+func clonePairs(p [][]int64) [][]int64 {
+	if p == nil {
+		return nil
+	}
+	out := newPairs(len(p))
+	for i, row := range p {
+		copy(out[i], row)
+	}
+	return out
 }
 
 // IterationStats is the timing of one BSP iteration.
@@ -258,6 +309,7 @@ func (c *Cluster) FinishIteration(w *Counters) IterationStats {
 			Edges:    append([]int64(nil), w.Edges...),
 			Vertices: append([]int64(nil), w.Vertices...),
 			Messages: append([]int64(nil), w.Messages...),
+			Pairs:    clonePairs(w.Pairs),
 		},
 	}
 	m := c.model
@@ -327,19 +379,34 @@ func (c *Cluster) FinishIteration(w *Counters) IterationStats {
 // slack, and the phase is observed through telemetry with its kind attached
 // so traces can separate recovery overhead from algorithm supersteps.
 func (c *Cluster) ChargePhase(kind string, busy []float64) (IterationStats, error) {
+	return c.ChargePhaseWork(kind, busy, nil)
+}
+
+// ChargePhaseWork is ChargePhase with explicit work counters attached to the
+// phase record. Fault recovery uses it to publish restream traffic — which
+// survivor received how many vertex states from the dead machine — so the
+// comm matrix shows recovery-induced shifts, not just algorithm messages.
+// work may be nil (a phase that moves no messages); when non-nil it is
+// deep-copied into the observed stats, and its Pairs matrix (if any) rides
+// along into the trace like any algorithm superstep's.
+func (c *Cluster) ChargePhaseWork(kind string, busy []float64, work *Counters) (IterationStats, error) {
 	k := c.numMachines
 	if len(busy) != k {
 		return IterationStats{}, fmt.Errorf("cluster: phase %q busy for %d machines, want %d", kind, len(busy), k)
+	}
+	if work == nil {
+		work = c.NewCounters()
 	}
 	st := IterationStats{
 		Compute: make([]float64, k),
 		Comm:    make([]float64, k),
 		Waiting: make([]float64, k),
 		Work: Counters{
-			Steps:    make([]int64, k),
-			Edges:    make([]int64, k),
-			Vertices: make([]int64, k),
-			Messages: make([]int64, k),
+			Steps:    append([]int64(nil), work.Steps...),
+			Edges:    append([]int64(nil), work.Edges...),
+			Vertices: append([]int64(nil), work.Vertices...),
+			Messages: append([]int64(nil), work.Messages...),
+			Pairs:    clonePairs(work.Pairs),
 		},
 	}
 	var max float64
@@ -389,6 +456,25 @@ func (c *Cluster) observe(st *IterationStats, phase string) {
 			computeH.Observe(st.Compute[i])
 			msgH.Observe(float64(st.Work.Messages[i]))
 		}
+		if st.Work.Pairs != nil {
+			// Matrix-capture metrics exist only when capture is on, so a
+			// disabled run's registry (and BENCH histogram section) is
+			// byte-identical to one built before this feature existed.
+			var total, active int64
+			batchH := c.reg.Histogram("comm_pair_batch_messages")
+			for _, row := range st.Work.Pairs {
+				for _, n := range row {
+					if n == 0 {
+						continue
+					}
+					total += n
+					active++
+					batchH.Observe(float64(n))
+				}
+			}
+			c.reg.Counter("comm_messages_total").Add(total)
+			c.reg.Counter("comm_active_pairs_total").Add(active)
+		}
 	}
 	if c.tr != nil && c.tr.Enabled() {
 		var waiting float64
@@ -407,6 +493,9 @@ func (c *Cluster) observe(st *IterationStats, phase string) {
 			telemetry.Any("edges", st.Work.Edges),
 			telemetry.Any("vertices", st.Work.Vertices),
 			telemetry.Any("messages", st.Work.Messages),
+		}
+		if st.Work.Pairs != nil {
+			attrs = append(attrs, telemetry.Any("pairs", st.Work.Pairs))
 		}
 		if phase != "" {
 			attrs = append(attrs, telemetry.String("phase", phase))
@@ -489,19 +578,28 @@ func (r *RunStats) ComputeByMachine() []float64 {
 }
 
 // WriteTimeline writes the run as CSV rows
-// (iteration, machine, compute, comm, waiting, steps, edges, messages),
-// one per machine per iteration — the raw data behind the paper's Fig 12
-// per-machine bar charts.
+// (iteration, machine, compute, comm, waiting, steps, edges, messages,
+// received), one per machine per iteration — the raw data behind the
+// paper's Fig 12 per-machine bar charts. messages counts what the machine
+// sent; received is the matching inbound count, the column sum of the
+// iteration's src→dst matrix — derivable only when the run captured one
+// (SetCommMatrix), and 0 otherwise.
 func (r *RunStats) WriteTimeline(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "iteration,machine,compute,comm,waiting,steps,edges,messages"); err != nil {
+	if _, err := fmt.Fprintln(bw, "iteration,machine,compute,comm,waiting,steps,edges,messages,received"); err != nil {
 		return err
 	}
 	for it, st := range r.Iterations {
 		for m := range st.Compute {
-			if _, err := fmt.Fprintf(bw, "%d,%d,%.3f,%.3f,%.3f,%d,%d,%d\n",
+			var recv int64
+			if st.Work.Pairs != nil {
+				for _, row := range st.Work.Pairs {
+					recv += row[m]
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%d,%d,%.3f,%.3f,%.3f,%d,%d,%d,%d\n",
 				it, m, st.Compute[m], st.Comm[m], st.Waiting[m],
-				st.Work.Steps[m], st.Work.Edges[m], st.Work.Messages[m]); err != nil {
+				st.Work.Steps[m], st.Work.Edges[m], st.Work.Messages[m], recv); err != nil {
 				return err
 			}
 		}

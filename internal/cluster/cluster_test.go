@@ -338,11 +338,39 @@ func TestWriteTimelineGolden(t *testing.T) {
 	if err := run.WriteTimeline(&buf); err != nil {
 		t.Fatal(err)
 	}
-	want := "iteration,machine,compute,comm,waiting,steps,edges,messages\n" +
-		"0,0,3.000,0.000,4.000,3,0,0\n" +
-		"0,1,1.000,4.000,2.000,1,0,2\n" +
-		"1,0,0.000,0.000,0.000,0,4,0\n" +
-		"1,1,0.000,0.000,0.000,0,0,0\n"
+	want := "iteration,machine,compute,comm,waiting,steps,edges,messages,received\n" +
+		"0,0,3.000,0.000,4.000,3,0,0,0\n" +
+		"0,1,1.000,4.000,2.000,1,0,2,0\n" +
+		"1,0,0.000,0.000,0.000,0,4,0,0\n" +
+		"1,1,0.000,0.000,0.000,0,0,0,0\n"
+	if buf.String() != want {
+		t.Fatalf("timeline CSV:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// With matrix capture on, the received column is the matrix column sum —
+// machine 0's two messages to machine 1 show up as received by 1.
+func TestWriteTimelineGoldenWithPairs(t *testing.T) {
+	model := CostModel{StepCost: 1, MessageCost: 2, Latency: 10}
+	c, err := New([]int{0, 1}, 2, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetCommMatrix(true)
+	var run RunStats
+	w := c.NewCounters()
+	w.Steps[0] = 3
+	w.Messages[0] = 2
+	w.Pairs[0][1] = 2
+	run.Add(c.FinishIteration(w))
+
+	var buf strings.Builder
+	if err := run.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "iteration,machine,compute,comm,waiting,steps,edges,messages,received\n" +
+		"0,0,3.000,4.000,0.000,3,0,2,0\n" +
+		"0,1,0.000,0.000,7.000,0,0,0,2\n"
 	if buf.String() != want {
 		t.Fatalf("timeline CSV:\n%s\nwant:\n%s", buf.String(), want)
 	}

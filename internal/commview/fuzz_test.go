@@ -1,0 +1,77 @@
+package commview
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead throws arbitrary byte streams at the comm-matrix reader. It
+// inherits traceview.Read's tolerance contract — only a torn final line
+// may be damaged, all-garbage input is a hard error — and layers the
+// matrix decode on top, so it must never panic, must parse the same bytes
+// to the same steps twice, and every accepted matrix must be square and
+// shaped to its machine count.
+func FuzzRead(f *testing.F) {
+	valid := `{"ts":"2026-08-07T12:00:00Z","type":"event","name":"cluster.superstep","attrs":{"iteration":0,"machines":2,"time_us":1,"compute":[1,1],"comm":[1,1],"waiting":[0,0],"steps":[0,0],"edges":[4,4],"vertices":[1,1],"messages":[1,0],"pairs":[[0,1],[0,0]]}}` + "\n"
+	f.Add([]byte(valid))
+	// Superstep without pairs: skipped, not an error.
+	f.Add([]byte(`{"ts":"2026-08-07T12:00:00Z","type":"event","name":"cluster.superstep","attrs":{"iteration":0,"machines":1,"time_us":1,"compute":[1],"comm":[1],"waiting":[0],"steps":[0],"edges":[0],"vertices":[1],"messages":[0]}}` + "\n"))
+	// Malformed matrices: hard errors.
+	f.Add([]byte(`{"ts":"2026-08-07T12:00:00Z","type":"event","name":"cluster.superstep","attrs":{"iteration":0,"machines":2,"time_us":1,"compute":[1,1],"comm":[1,1],"waiting":[0,0],"steps":[0,0],"edges":[0,0],"vertices":[1,1],"messages":[0,0],"pairs":[[0]]}}` + "\n"))
+	f.Add([]byte(`{"ts":"2026-08-07T12:00:00Z","type":"event","name":"cluster.superstep","attrs":{"iteration":0,"machines":2,"pairs":"garbage"}}` + "\n"))
+	// Torn final line after a valid prefix: tolerated.
+	f.Add([]byte(valid + `{"ts":"2026-08-07T12:0`))
+	// Interior damage and all-garbage first lines: hard errors.
+	f.Add([]byte("garbage\n" + valid))
+	f.Add([]byte("garbage\n"))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xfe, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if l == nil {
+			t.Fatal("Read returned nil log with nil error")
+		}
+		l2, err2 := Read(bytes.NewReader(data))
+		if err2 != nil {
+			t.Fatalf("second Read of identical bytes failed: %v", err2)
+		}
+		if len(l2.Steps) != len(l.Steps) || l2.Truncated != l.Truncated {
+			t.Fatalf("non-deterministic parse: %d/%v then %d/%v",
+				len(l.Steps), l.Truncated, len(l2.Steps), l2.Truncated)
+		}
+		for i, st := range l.Steps {
+			if len(st.Pairs) != st.Machines {
+				t.Fatalf("step %d: %d rows for %d machines", i, len(st.Pairs), st.Machines)
+			}
+			for _, row := range st.Pairs {
+				if len(row) != st.Machines {
+					t.Fatalf("step %d: ragged matrix row", i)
+				}
+			}
+			if len(st.Messages) != st.Machines || len(st.Edges) != st.Machines || len(st.Steps) != st.Machines {
+				t.Fatalf("step %d: flat counter shape mismatch", i)
+			}
+		}
+		// The derived views must hold up on anything Read accepts.
+		// (CheckMessages may legitimately reject a fuzzer-built matrix —
+		// its invariant is about our writers — but it must not panic.)
+		for _, run := range GroupRuns(l.Steps) {
+			s := Summarize(run)
+			if s.Messages < 0 {
+				// int64 overflow from adversarial cell values: the sum
+				// wrapped. Summarize makes no overflow promises; nothing
+				// further to assert on this input.
+				return
+			}
+			if s.ActivePairs > s.Machines*s.Machines {
+				t.Fatalf("ActivePairs %d exceeds matrix size", s.ActivePairs)
+			}
+		}
+		_ = CheckMessages(l.Steps)
+	})
+}

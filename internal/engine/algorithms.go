@@ -58,6 +58,10 @@ func (e *Engine) SSSP(source graph.VertexID) (*SSSPResult, error) {
 				buf[i] = unreached
 			}
 			var edges, msgs, verts int64
+			var prow []int64
+			if w.Pairs != nil {
+				prow = w.Pairs[m]
+			}
 			for _, v := range e.owned[m] {
 				if !active[v] {
 					continue
@@ -66,8 +70,11 @@ func (e *Engine) SSSP(source graph.VertexID) (*SSSPResult, error) {
 				base := dist[v]
 				for _, u := range e.g.Neighbors(v) {
 					edges++
-					if e.cl.Owner(u) != m {
+					if o := e.cl.Owner(u); o != m {
 						msgs++
+						if prow != nil {
+							prow[o]++
+						}
 					}
 					cand := base + EdgeWeight(v, u)
 					if buf[u] == unreached || cand < buf[u] {
@@ -170,19 +177,29 @@ func (e *Engine) KCore(kCore int) (*KCoreResult, error) {
 		}
 		for m := 0; m < k; m++ {
 			var edges, msgs int64
+			var prow []int64
+			if w.Pairs != nil {
+				prow = w.Pairs[m]
+			}
 			for _, v := range removed[m] {
 				for _, u := range e.g.Neighbors(v) {
 					edges++
 					degree[u]--
-					if e.cl.Owner(u) != m {
+					if o := e.cl.Owner(u); o != m {
 						msgs++
+						if prow != nil {
+							prow[o]++
+						}
 					}
 				}
 				for _, u := range tr.Neighbors(v) {
 					edges++
 					degree[u]--
-					if e.cl.Owner(u) != m {
+					if o := e.cl.Owner(u); o != m {
 						msgs++
+						if prow != nil {
+							prow[o]++
+						}
 					}
 				}
 			}

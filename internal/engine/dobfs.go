@@ -44,6 +44,10 @@ func (e *Engine) BFSDirectionOptimizing(source graph.VertexID) (*BFSResult, erro
 		e.cl.Parallel(func(mach int) {
 			discovered[mach] = discovered[mach][:0]
 			var edges, msgs, verts int64
+			var prow []int64
+			if w.Pairs != nil {
+				prow = w.Pairs[mach]
+			}
 			if bottomUp {
 				// Every unvisited owned vertex looks backwards for a
 				// frontier parent and stops at the first hit.
@@ -54,8 +58,11 @@ func (e *Engine) BFSDirectionOptimizing(source graph.VertexID) (*BFSResult, erro
 					verts++
 					for _, u := range tr.Neighbors(v) {
 						edges++
-						if e.cl.Owner(u) != mach {
+						if o := e.cl.Owner(u); o != mach {
 							msgs++
+							if prow != nil {
+								prow[o]++
+							}
 						}
 						if inFrontier[u] {
 							discovered[mach] = append(discovered[mach], v)
@@ -71,8 +78,11 @@ func (e *Engine) BFSDirectionOptimizing(source graph.VertexID) (*BFSResult, erro
 					verts++
 					for _, u := range e.g.Neighbors(v) {
 						edges++
-						if e.cl.Owner(u) != mach {
+						if o := e.cl.Owner(u); o != mach {
 							msgs++
+							if prow != nil {
+								prow[o]++
+							}
 						}
 						if dist[u] == -1 {
 							discovered[mach] = append(discovered[mach], u)

@@ -218,6 +218,10 @@ func (e *Engine) pageRankPush(iters int, damping, tol float64) (*PRResult, error
 			}
 			dangling[m] = 0
 			var edges, msgs, verts int64
+			var prow []int64
+			if w.Pairs != nil {
+				prow = w.Pairs[m]
+			}
 			for _, v := range e.owned[m] {
 				ns := e.g.Neighbors(v)
 				verts++
@@ -229,8 +233,11 @@ func (e *Engine) pageRankPush(iters int, damping, tol float64) (*PRResult, error
 				for _, u := range ns {
 					buf[u] += share
 					edges++
-					if e.cl.Owner(u) != m {
+					if o := e.cl.Owner(u); o != m {
 						msgs++
+						if prow != nil {
+							prow[o]++
+						}
 					}
 				}
 			}
@@ -346,11 +353,18 @@ func (e *Engine) ConnectedComponents(maxIters int) (*CCResult, error) {
 				buf[i] = labels[i]
 			}
 			var edges, msgs, verts int64
+			var prow []int64
+			if w.Pairs != nil {
+				prow = w.Pairs[m]
+			}
 			propose := func(v graph.VertexID, ns []graph.VertexID, l uint32) {
 				for _, u := range ns {
 					edges++
-					if e.cl.Owner(u) != m {
+					if o := e.cl.Owner(u); o != m {
 						msgs++
+						if prow != nil {
+							prow[o]++
+						}
 					}
 					if l < buf[u] {
 						buf[u] = l
@@ -477,12 +491,19 @@ func (e *Engine) BFS(source graph.VertexID) (*BFSResult, error) {
 		e.cl.Parallel(func(m int) {
 			discovered[m] = discovered[m][:0]
 			var edges, msgs, verts int64
+			var prow []int64
+			if w.Pairs != nil {
+				prow = w.Pairs[m]
+			}
 			for _, v := range byOwner[m] {
 				verts++
 				for _, u := range e.g.Neighbors(v) {
 					edges++
-					if e.cl.Owner(u) != m {
+					if o := e.cl.Owner(u); o != m {
 						msgs++
+						if prow != nil {
+							prow[o]++
+						}
 					}
 					if dist[u] == -1 {
 						// Benign duplicate proposals are deduplicated

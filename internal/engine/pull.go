@@ -94,14 +94,24 @@ func (e *Engine) PageRankPull(iters int, damping float64) (*PRResult, error) {
 		e.cl.Parallel(func(m int) {
 			stamp := stamps[m]
 			var edges, msgs, verts int64
+			var prow []int64
+			if w.Pairs != nil {
+				prow = w.Pairs[m]
+			}
 			for _, v := range e.owned[m] {
 				verts++
 				var sum float64
 				for _, u := range tr.Neighbors(v) {
 					edges++
-					if e.cl.Owner(u) != m && stamp[u] != int32(it) {
+					// Matrix row = the requesting machine m (who is charged
+					// for the fetch), column = the mirror's home machine —
+					// in pull mode traffic flows toward the row machine.
+					if o := e.cl.Owner(u); o != m && stamp[u] != int32(it) {
 						stamp[u] = int32(it)
 						msgs++
+						if prow != nil {
+							prow[o]++
+						}
 					}
 					sum += contrib[u]
 				}

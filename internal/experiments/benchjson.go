@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"bpart/internal/commview"
 	"bpart/internal/fault"
 	"bpart/internal/gen"
 	"bpart/internal/metrics"
@@ -62,6 +63,25 @@ type BenchRecovery struct {
 	fault.RecoveryStats
 }
 
+// BenchComm is one (graph, scheme, k) cell of the artifact's
+// communication-topology section: the canonical walk workload re-read
+// through the src→dst comm matrix (matrix capture on). Capture is
+// observation-only, so the Partitions section's numbers are unaffected;
+// every field here is deterministic.
+type BenchComm struct {
+	Graph          string  `json:"graph"`
+	Scheme         string  `json:"scheme"`
+	K              int     `json:"k"`
+	Messages       int64   `json:"messages"`
+	ImbalanceRatio float64 `json:"imbalance_ratio"`
+	PairJain       float64 `json:"pair_jain"`
+	HotSrc         int     `json:"hot_src"`
+	HotDst         int     `json:"hot_dst"`
+	// HotShare is the hot pair's fraction of all cross-machine messages
+	// (1/(k²-k) when perfectly flat).
+	HotShare float64 `json:"hot_share"`
+}
+
 // BenchArtifact is the machine-readable benchmark record cmd/bench writes
 // (BENCH_bpart.json). Fields marshal in declaration order, so the output
 // is byte-deterministic given identical contents. Recovery is additive
@@ -74,6 +94,7 @@ type BenchArtifact struct {
 	Experiments   []BenchExperiment            `json:"experiments"`
 	Partitions    []BenchPartition             `json:"partitions"`
 	Recovery      []BenchRecovery              `json:"recovery,omitempty"`
+	Comm          []BenchComm                  `json:"comm"`
 	Histograms    []telemetry.HistogramSummary `json:"histograms"`
 }
 
@@ -85,6 +106,7 @@ func NewBenchArtifact(opt Options) *BenchArtifact {
 		Walkers:       opt.Walkers,
 		Experiments:   []BenchExperiment{},
 		Partitions:    []BenchPartition{},
+		Comm:          []BenchComm{},
 		Histograms:    []telemetry.HistogramSummary{},
 	}
 }
@@ -130,6 +152,10 @@ func (a *BenchArtifact) Collect(opt Options, reg *telemetry.Registry) error {
 		if err != nil {
 			return fmt.Errorf("bench artifact: %w", err)
 		}
+		// Capture the comm matrix on the same run: observation-only, so the
+		// partition section's timings are unchanged (the comm_* histograms
+		// appear additively in the Histograms section).
+		e.Cluster().SetCommMatrix(true)
 		res, err := e.Run(benchWalkConfig)
 		if err != nil {
 			return fmt.Errorf("bench artifact: %s walk: %w", scheme, err)
@@ -145,6 +171,22 @@ func (a *BenchArtifact) Collect(opt Options, reg *telemetry.Registry) error {
 			CutRatio:   rep.CutRatio,
 			SimTimeUS:  res.Stats.TotalTime(),
 			WaitRatio:  res.Stats.WaitRatio(),
+		})
+		s := commview.Summarize(commview.FromRunStats(&res.Stats))
+		hotShare := 0.0
+		if s.Messages > 0 {
+			hotShare = float64(s.HotMessages) / float64(s.Messages)
+		}
+		a.Comm = append(a.Comm, BenchComm{
+			Graph:          string(d),
+			Scheme:         scheme,
+			K:              benchPartitionK,
+			Messages:       s.Messages,
+			ImbalanceRatio: s.ImbalanceRatio,
+			PairJain:       s.PairJain,
+			HotSrc:         s.HotSrc,
+			HotDst:         s.HotDst,
+			HotShare:       hotShare,
 		})
 	}
 	if opt.Faults != nil {

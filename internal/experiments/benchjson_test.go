@@ -56,10 +56,36 @@ func TestBenchArtifactRoundTrip(t *testing.T) {
 			t.Fatalf("scheme %s missing from partitions", s)
 		}
 	}
+	// The comm section mirrors the canonical walk through the matrix: one
+	// cell per scheme, with metrics in their defined ranges.
+	if len(got.Comm) != len(allSchemes) {
+		t.Fatalf("got %d comm cells, want %d", len(got.Comm), len(allSchemes))
+	}
+	for _, c := range got.Comm {
+		if c.K != benchPartitionK || c.Graph == "" || c.Messages <= 0 {
+			t.Fatalf("comm cell = %+v", c)
+		}
+		if c.ImbalanceRatio < 1 || c.PairJain <= 0 || c.PairJain > 1.000001 {
+			t.Fatalf("%s comm metrics = %+v", c.Scheme, c)
+		}
+		if c.HotSrc == c.HotDst || c.HotShare <= 0 || c.HotShare > 1 {
+			t.Fatalf("%s hot pair = %+v", c.Scheme, c)
+		}
+	}
 	// The canonical walk ran through the registry-instrumented engine, so
-	// the histogram section must be populated.
+	// the histogram section must be populated — including the comm_*
+	// histograms from the capture-enabled walk.
 	if len(got.Histograms) == 0 {
 		t.Fatal("no histogram summaries collected")
+	}
+	foundComm := false
+	for _, h := range got.Histograms {
+		if h.Name == "comm_pair_batch_messages" {
+			foundComm = true
+		}
+	}
+	if !foundComm {
+		t.Fatal("comm_pair_batch_messages histogram missing from artifact")
 	}
 }
 
@@ -133,7 +159,7 @@ func TestBenchArtifactWireShape(t *testing.T) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"schema_version", "scale", "experiments", "partitions", "histograms"} {
+	for _, key := range []string{"schema_version", "scale", "experiments", "partitions", "comm", "histograms"} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("artifact missing %q key", key)
 		}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestCommMatrixShape(t *testing.T) {
+	opt := Options{Scale: testScale}
+	tbl, err := CommMatrix(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2*len(commSchemes) { // workloads × schemes
+		t.Fatalf("CommMatrix rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		msgs, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil || msgs <= 0 {
+			t.Fatalf("row %v: bad message count", row)
+		}
+		imb, err := strconv.ParseFloat(row[3], 64)
+		if err != nil || imb < 1 {
+			t.Fatalf("row %v: imbalance ratio below 1", row)
+		}
+		jain, err := strconv.ParseFloat(row[4], 64)
+		if err != nil || jain <= 0 || jain > 1.000001 {
+			t.Fatalf("row %v: Jain index out of range", row)
+		}
+	}
+}
+
+// The experiment must not leak capture into the memoized shared state:
+// a later experiment reusing the memoized graph/partition builds its own
+// engines, and fresh clusters default to capture off.
+func TestCommMatrixDoesNotPerturbOthers(t *testing.T) {
+	opt := Options{Scale: testScale}
+	before, err := Fig13(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CommMatrix(opt); err != nil {
+		t.Fatal(err)
+	}
+	after, err := Fig13(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range before.Rows {
+		for j, cell := range row {
+			if after.Rows[i][j] != cell {
+				t.Fatalf("Fig13 cell [%d][%d] changed after CommMatrix: %q -> %q", i, j, cell, after.Rows[i][j])
+			}
+		}
+	}
+}

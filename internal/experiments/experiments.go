@@ -161,6 +161,7 @@ func All() []Experiment {
 		{"Ablation Order", AblationOrder},
 		{"Ablation Hetero", AblationHetero},
 		{"Fault Recovery", FaultRecovery},
+		{"Comm Matrix", CommMatrix},
 	}
 }
 

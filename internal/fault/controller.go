@@ -296,13 +296,15 @@ func (c *Controller) chargePhase(kind string, stats *cluster.RunStats) {
 			busy[m] = cost * float64(n)
 		}
 	}
-	c.addPhase(kind, busy, stats)
+	c.addPhase(kind, busy, nil, stats)
 }
 
-// addPhase runs ChargePhase and folds the result into both the engine's
-// RunStats and the controller's recovery accounting.
-func (c *Controller) addPhase(kind string, busy []float64, stats *cluster.RunStats) {
-	st, err := c.cl.ChargePhase(kind, busy)
+// addPhase runs ChargePhaseWork and folds the result into both the engine's
+// RunStats and the controller's recovery accounting. work (may be nil)
+// attaches message counters to the phase record — restream uses it to put
+// recovery traffic into the comm matrix.
+func (c *Controller) addPhase(kind string, busy []float64, work *cluster.Counters, stats *cluster.RunStats) {
+	st, err := c.cl.ChargePhaseWork(kind, busy, work)
 	if err != nil {
 		// busy is built from this cluster's machine count, so a length
 		// error is unreachable; keep the stats consistent regardless.
@@ -421,7 +423,21 @@ func (c *Controller) restream(dead int, stats *cluster.RunStats) {
 	for i := 0; i < k; i++ {
 		busy[i] = received[i]*(model.CheckpointCost+model.MessageCost) + receivedEdges[i]*model.EdgeCost
 	}
-	c.addPhase("restream", busy, stats)
+	// With matrix capture on, publish the transfer as traffic from the dead
+	// machine's row (its checkpointed states stream out) to each survivor's
+	// column, one message per vertex state — so recovery-induced shifts are
+	// visible in tracestat comm. Row sum equals Messages[dead], preserving
+	// the reconciliation invariant. Disabled runs record nothing, keeping
+	// their traces byte-identical to pre-commview behavior.
+	var work *cluster.Counters
+	if c.cl.CommMatrixEnabled() {
+		work = c.cl.NewCounters()
+		work.Messages[dead] = int64(len(lost))
+		for i := 0; i < k; i++ {
+			work.Pairs[dead][i] = int64(received[i])
+		}
+	}
+	c.addPhase("restream", busy, work, stats)
 	c.refreshOwned()
 	c.stats.RestreamedVertices += len(lost)
 	c.tr.Event("fault.restream",

@@ -432,6 +432,10 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 			rng := rngs[m]
 			out := outbox[m]
 			var steps, msgs, verts int64
+			var prow []int64
+			if w.Pairs != nil {
+				prow = w.Pairs[m]
+			}
 			kept := active[m][:0]
 			for _, wk := range active[m] {
 				next, done := e.step(&wk, cfg, rng)
@@ -471,6 +475,9 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 					// (if steps remain) re-activation happen at
 					// delivery in the sequential merge phase.
 					msgs++
+					if prow != nil {
+						prow[dst]++
+					}
 					out[dst] = append(out[dst], wk)
 				}
 			}
