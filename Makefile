@@ -14,6 +14,8 @@ lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	@echo "bpartlint analyzers:"
+	@$(GO) run ./cmd/bpartlint -list
 	$(GO) run ./cmd/bpartlint ./...
 
 test:

@@ -1,14 +1,17 @@
 // Command bpartlint runs the repo's static-analysis suite
-// (internal/analysis): norawrand, spanend, metricname, floateq, errio.
+// (internal/analysis): aliasret, errio, floateq, maporder, metricname,
+// noclock, norawrand, spanend.
 //
 // Usage:
 //
-//	bpartlint [-list] [pattern ...]
+//	bpartlint [-list] [-json] [pattern ...]
 //
 // Patterns are package directories or "dir/..." trees; the default "./..."
 // lints the whole module. Diagnostics print as file:line:col: [analyzer]
-// message, one per line; the exit status is 1 when anything fires, 2 when
-// a package fails to load or type-check.
+// message, one per line; -json emits one JSON object per finding instead
+// (fields file, line, col, analyzer, message in that order), the shape the
+// CI artifact stores. The exit status is 1 when anything fires, 2 when a
+// package fails to load or type-check.
 //
 // The x/tools multichecker would normally provide `go vet -vettool`
 // integration; that path is gated until the dependency is available
@@ -17,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,26 +36,42 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: bpartlint [-list] [pattern ...]\n\npatterns: package dirs or dir/... trees (default ./...)\n\nanalyzers:\n")
-		for _, a := range suite.Analyzers() {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
-		}
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bpartlint [-list] [-json] [pattern ...]\n\npatterns: package dirs or dir/... trees (default ./...)\n\nanalyzers:\n")
+		listAnalyzers(flag.CommandLine.Output())
 	}
 	flag.Parse()
 	if *list {
-		for _, a := range suite.Analyzers() {
-			fmt.Printf("%-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
-		}
+		listAnalyzers(os.Stdout)
 		return
 	}
-	os.Exit(Main(flag.Args(), os.Stdout, os.Stderr))
+	os.Exit(Main(flag.Args(), *jsonOut, os.Stdout, os.Stderr))
+}
+
+// listAnalyzers prints the suite inventory, one analyzer per line with the
+// first line of its doc.
+func listAnalyzers(w io.Writer) {
+	for _, a := range suite.Analyzers() {
+		fmt.Fprintf(w, "%-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+	}
+}
+
+// jsonFinding is the wire shape of one -json line. Field order in the
+// struct is the field order on the wire; keep it stable — the CI findings
+// artifact and any downstream diffing depend on it.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 // Main lints the given patterns, printing diagnostics to out and load
 // failures to errOut, and returns the process exit code. It is the whole
 // CLI minus flag parsing, so the smoke test can run it in-process.
-func Main(patterns []string, out, errOut io.Writer) int {
+func Main(patterns []string, jsonOut bool, out, errOut io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -88,8 +108,22 @@ func Main(patterns []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, "bpartlint:", err)
 		return 2
 	}
+	enc := json.NewEncoder(out)
 	for _, f := range findings {
-		fmt.Fprintf(out, "%s: [%s] %s\n", relPos(f), f.Analyzer, f.Message)
+		if jsonOut {
+			if err := enc.Encode(jsonFinding{
+				File:     relFile(f),
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			}); err != nil {
+				fmt.Fprintln(errOut, "bpartlint:", err)
+				return 2
+			}
+		} else {
+			fmt.Fprintf(out, "%s:%d:%d: [%s] %s\n", relFile(f), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
 		if code == 0 {
 			code = 1
 		}
@@ -97,16 +131,16 @@ func Main(patterns []string, out, errOut io.Writer) int {
 	return code
 }
 
-// relPos renders the finding position relative to the working directory
+// relFile renders the finding's file relative to the working directory
 // when possible.
-func relPos(f analysis.Finding) string {
+func relFile(f analysis.Finding) string {
 	wd, err := os.Getwd()
 	if err == nil {
 		if rel, rerr := filepath.Rel(wd, f.Pos.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
-			return fmt.Sprintf("%s:%d:%d", rel, f.Pos.Line, f.Pos.Column)
+			return rel
 		}
 	}
-	return fmt.Sprintf("%s:%d:%d", f.Pos.Filename, f.Pos.Line, f.Pos.Column)
+	return f.Pos.Filename
 }
 
 // expand resolves patterns to package directories. "dir/..." walks the

@@ -1,0 +1,12 @@
+package aliasret_test
+
+import (
+	"testing"
+
+	"bpart/internal/analysis/aliasret"
+	"bpart/internal/analysis/analysistest"
+)
+
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, "../testdata/aliasret/a", aliasret.Analyzer)
+}

@@ -21,6 +21,8 @@ import (
 	"regexp"
 	"strings"
 	"sync"
+
+	"bpart/internal/analysis/cfg"
 )
 
 // Analyzer describes one static-analysis pass.
@@ -65,6 +67,31 @@ func (p *Pass) Report(d Diagnostic) {
 // Reportf emits a finding at pos with a formatted message.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// cfgCache memoizes control-flow graphs per function body across every
+// analyzer of one lint run.
+type cfgCache struct {
+	mu     sync.Mutex
+	graphs map[*ast.BlockStmt]*cfg.Graph
+}
+
+// CFG returns the control-flow graph of a function body (see
+// internal/analysis/cfg), built on first request and shared via the
+// Shared blackboard, so flow-sensitive analyzers pay for each function
+// once per run rather than once per pass.
+func (p *Pass) CFG(body *ast.BlockStmt) *cfg.Graph {
+	c := p.Shared.Get("analysis.cfg", func() any {
+		return &cfgCache{graphs: map[*ast.BlockStmt]*cfg.Graph{}}
+	}).(*cfgCache)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.graphs[body]
+	if g == nil {
+		g = cfg.New(body)
+		c.graphs[body] = g
+	}
+	return g
 }
 
 // Diagnostic is one finding.

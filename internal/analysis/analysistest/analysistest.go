@@ -14,6 +14,7 @@ package analysistest
 import (
 	"fmt"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -102,6 +103,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 		}
 	}
 	if len(missing) > 0 {
+		sort.Strings(missing)
 		t.Errorf("missing diagnostics:\n%s", strings.Join(missing, "\n"))
 	}
 }

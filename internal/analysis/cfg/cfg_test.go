@@ -1,0 +1,480 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses src (the body of `func f() { ... }`) and returns its CFG.
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", file, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body)
+}
+
+// callNode finds the graph node that is (or contains, for loop headers)
+// the statement calling name. Plain call statements resolve to their
+// ExprStmt; the marker must appear exactly once as a call.
+func callNode(t *testing.T, g *Graph, name string) ast.Node {
+	t.Helper()
+	var found ast.Node
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			var call *ast.CallExpr
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = x.X.(*ast.CallExpr)
+			case *ast.CallExpr:
+				// conditions and switch tags are bare expressions
+				call = x
+			}
+			if call == nil {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				if found != nil {
+					t.Fatalf("marker %s appears twice", name)
+				}
+				found = n
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("marker %s not found in graph:\n%s", name, g.Describe())
+	}
+	return found
+}
+
+func blockOf(t *testing.T, g *Graph, n ast.Node) *Block {
+	t.Helper()
+	p, ok := g.pos[n]
+	if !ok {
+		t.Fatalf("node not in graph")
+	}
+	return p.block
+}
+
+// canReach reports whether to's block is reachable from from's block
+// (following successor edges, including from's own block's successors).
+func canReach(g *Graph, from, to *Block) bool {
+	seen := map[*Block]bool{from: true}
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if s == to {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+func assertReach(t *testing.T, g *Graph, from, to string, want bool) {
+	t.Helper()
+	fb := blockOf(t, g, callNode(t, g, from))
+	tb := blockOf(t, g, callNode(t, g, to))
+	if got := canReach(g, fb, tb) || fb == tb; got != want {
+		t.Errorf("reach %s -> %s = %v, want %v\n%s", from, to, got, want, g.Describe())
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	g := build(t, `
+	if cond() {
+		then()
+	} else {
+		other()
+	}
+	after()`)
+	assertReach(t, g, "cond", "then", true)
+	assertReach(t, g, "cond", "other", true)
+	assertReach(t, g, "then", "after", true)
+	assertReach(t, g, "other", "after", true)
+	assertReach(t, g, "then", "other", false)
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := build(t, `
+	before()
+	for i := 0; cond(); i++ {
+		body()
+	}
+	after()`)
+	assertReach(t, g, "body", "body", true) // back edge through post
+	assertReach(t, g, "body", "after", true)
+	assertReach(t, g, "after", "body", false)
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := build(t, `
+	for _, v := range xs {
+		body(v)
+	}
+	after()`)
+	assertReach(t, g, "body", "body", true)
+	assertReach(t, g, "body", "after", true)
+}
+
+func TestGoto(t *testing.T) {
+	g := build(t, `
+	start()
+	goto finish
+ret:
+	onret()
+	return
+finish:
+	onfinish()
+	goto ret`)
+	// start flows to finish (not ret) directly; ret only via finish.
+	assertReach(t, g, "start", "onfinish", true)
+	assertReach(t, g, "onfinish", "onret", true)
+	// The statement after `goto finish` is the labeled ret block, but the
+	// fall-through edge from start's block must not exist: start's block
+	// ends at the goto.
+	sb := blockOf(t, g, callNode(t, g, "start"))
+	if len(sb.Succs) != 1 {
+		t.Fatalf("goto block has %d succs, want 1\n%s", len(sb.Succs), g.Describe())
+	}
+	if sb.Succs[0].Kind != "label.finish" {
+		t.Fatalf("goto edge to %q, want label.finish", sb.Succs[0].Kind)
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g := build(t, `
+outer:
+	for {
+		inner()
+		for {
+			if a() {
+				continue outer
+			}
+			if b() {
+				break outer
+			}
+			deep()
+		}
+	}
+	after()`)
+	// continue outer re-enters the outer loop body.
+	assertReach(t, g, "a", "inner", true)
+	// break outer leaves both loops.
+	assertReach(t, g, "b", "after", true)
+	// deep continues the inner loop only.
+	assertReach(t, g, "deep", "a", true)
+	// An infinite outer loop's only way to after() is the labeled break:
+	// inner() cannot reach after() except through b()'s break — still
+	// reachable, but a() path loops back. Sanity: after is reachable at all.
+	assertReach(t, g, "inner", "after", true)
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := build(t, `
+	switch tag() {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		two()
+	case 3:
+		three()
+	}
+	after()`)
+	assertReach(t, g, "one", "two", true)    // fallthrough edge
+	assertReach(t, g, "one", "three", false) // but only to the next case
+	assertReach(t, g, "two", "three", false)
+	assertReach(t, g, "tag", "three", true)
+	assertReach(t, g, "three", "after", true)
+	// No default: the head can bypass every case.
+	hb := blockOf(t, g, callNode(t, g, "tag"))
+	ab := blockOf(t, g, callNode(t, g, "after"))
+	direct := false
+	for _, s := range hb.Succs {
+		if s == ab || (len(s.Nodes) == 0 && canReach(g, s, ab)) {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Errorf("switch head cannot bypass cases\n%s", g.Describe())
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := build(t, `
+	select {
+	case <-ch1:
+		one()
+	case ch2 <- v:
+		two()
+	default:
+		dflt()
+	}
+	after()`)
+	assertReach(t, g, "one", "after", true)
+	assertReach(t, g, "two", "after", true)
+	assertReach(t, g, "dflt", "after", true)
+	assertReach(t, g, "one", "two", false)
+}
+
+func TestPanicTerminatesBlock(t *testing.T) {
+	g := build(t, `
+	if bad() {
+		pre()
+		panic("boom")
+	}
+	after()`)
+	pre := blockOf(t, g, callNode(t, g, "pre"))
+	if pre.Kind != "panic" || len(pre.Succs) != 0 {
+		t.Fatalf("panic block kind=%q succs=%d, want panic/0\n%s", pre.Kind, len(pre.Succs), g.Describe())
+	}
+	assertReach(t, g, "pre", "after", false)
+	assertReach(t, g, "bad", "after", true)
+}
+
+func TestOsExitTerminates(t *testing.T) {
+	g := build(t, `
+	pre()
+	os.Exit(1)
+	dead()`)
+	assertReach(t, g, "pre", "dead", false)
+}
+
+func TestReturnEdgesIntoExit(t *testing.T) {
+	g := build(t, `
+	if cond() {
+		return
+	}
+	after()`)
+	// The return's block must edge into Exit and nothing else.
+	var retBlock *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				retBlock = b
+			}
+		}
+	}
+	if retBlock == nil {
+		t.Fatal("no return block")
+	}
+	if len(retBlock.Succs) != 1 || retBlock.Succs[0] != g.Exit {
+		t.Fatalf("return block succs wrong\n%s", g.Describe())
+	}
+	// after() also reaches Exit implicitly.
+	ab := blockOf(t, g, callNode(t, g, "after"))
+	if !canReach(g, ab, g.Exit) {
+		t.Fatalf("implicit exit missing\n%s", g.Describe())
+	}
+}
+
+func TestDeferInLoopIsStraightLine(t *testing.T) {
+	g := build(t, `
+	for range xs {
+		pre()
+		defer cleanup()
+		post()
+	}`)
+	// defer is a plain node: pre, defer, post share a block.
+	pb := blockOf(t, g, callNode(t, g, "pre"))
+	qb := blockOf(t, g, callNode(t, g, "post"))
+	if pb != qb {
+		t.Fatalf("defer split the block\n%s", g.Describe())
+	}
+	found := false
+	for _, n := range pb.Nodes {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("defer node missing from block\n%s", g.Describe())
+	}
+}
+
+func TestFuncLitIsOpaque(t *testing.T) {
+	g := build(t, `
+	fn := func() {
+		inner()
+		return
+	}
+	fn()
+	after()`)
+	// inner() lives inside the closure: it must not appear as a graph
+	// node, and the closure's return must not edge into Exit.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "inner" {
+						t.Fatalf("closure body leaked into graph\n%s", g.Describe())
+					}
+				}
+			}
+		}
+	}
+	if len(g.Exit.Preds) != 1 {
+		t.Fatalf("Exit has %d preds, want 1 (implicit only)\n%s", len(g.Exit.Preds), g.Describe())
+	}
+}
+
+func TestFindAllPathsObligation(t *testing.T) {
+	g := build(t, `
+	start()
+	if cond() {
+		clear()
+	}
+	sink()`)
+	isCall := func(n ast.Node, name string) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+	res := g.Find(Query{
+		Start: callNode(t, g, "start"),
+		Clear: func(n ast.Node) bool { return isCall(n, "clear") },
+		Sink:  func(n ast.Node) bool { return isCall(n, "sink") },
+	})
+	if len(res.Sinks) != 1 {
+		t.Fatalf("got %d sinks, want 1 (the else path skips clear)", len(res.Sinks))
+	}
+}
+
+func TestFindClearOnAllPaths(t *testing.T) {
+	g := build(t, `
+	start()
+	if cond() {
+		clear()
+	} else {
+		clear2()
+	}
+	sink()`)
+	isCall := func(n ast.Node, names ...string) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		for _, name := range names {
+			if id.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	res := g.Find(Query{
+		Start:    callNode(t, g, "start"),
+		Clear:    func(n ast.Node) bool { return isCall(n, "clear", "clear2") },
+		Sink:     func(n ast.Node) bool { return isCall(n, "sink") },
+		ExitSink: true,
+	})
+	if len(res.Sinks) != 0 || res.ReachedExit {
+		t.Fatalf("cleared on all paths but got sinks=%d exit=%v", len(res.Sinks), res.ReachedExit)
+	}
+}
+
+func TestFindLoopCarried(t *testing.T) {
+	// The sink is lexically before the clear, but only reachable on the
+	// second iteration — after the clear ran. A lexical check would flag
+	// it; the CFG must not (path: start -> loop -> clear stops the path).
+	g := build(t, `
+	start()
+	for {
+		if cond() {
+			sink()
+		}
+		clear()
+	}`)
+	isCall := func(n ast.Node, name string) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+	res := g.Find(Query{
+		Start: callNode(t, g, "start"),
+		Clear: func(n ast.Node) bool { return isCall(n, "clear") },
+		Sink:  func(n ast.Node) bool { return isCall(n, "sink") },
+	})
+	// First iteration can reach sink before clear.
+	if len(res.Sinks) != 1 {
+		t.Fatalf("got %d sinks, want 1 (first iteration reaches sink unclear)", len(res.Sinks))
+	}
+}
+
+func TestFindPanicPathExempt(t *testing.T) {
+	g := build(t, `
+	start()
+	if bad() {
+		panic("boom")
+	}
+	clear()`)
+	isCall := func(n ast.Node, name string) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+	res := g.Find(Query{
+		Start:    callNode(t, g, "start"),
+		Clear:    func(n ast.Node) bool { return isCall(n, "clear") },
+		ExitSink: true,
+	})
+	if res.ReachedExit {
+		t.Fatal("panic-only path demanded the obligation")
+	}
+}
+
+func TestDescribeMentionsEveryBlock(t *testing.T) {
+	g := build(t, `
+	if cond() {
+		then()
+	}`)
+	d := g.Describe()
+	if !strings.Contains(d, "entry") || !strings.Contains(d, "exit") {
+		t.Fatalf("describe missing entry/exit:\n%s", d)
+	}
+	if len(strings.Split(strings.TrimSpace(d), "\n")) != len(g.Blocks) {
+		t.Fatalf("describe line count != block count:\n%s", d)
+	}
+}

@@ -1,0 +1,91 @@
+package cfg
+
+import "go/ast"
+
+// Query is an all-paths obligation check: starting just after Start (or at
+// function entry when Start is nil), explore every control-flow path and
+// report the Sink nodes that can be reached before any Clear node. It is
+// the shared engine behind the flow-sensitive analyzers: spanend asks
+// "can a return be reached before End()", maporder asks "can the collected
+// key slice be used before sort".
+//
+// Callbacks see each block node in execution order. Clear is consulted
+// first: a node that both satisfies and violates counts as satisfying
+// (e.g. sort.Strings(keys) both uses and sorts keys). A cleared or
+// violating path stops; panic-terminated blocks end their path silently,
+// so obligations are never demanded on panic-only exits.
+type Query struct {
+	// Start is the node the obligation begins at; exploration starts with
+	// the next node of its block. It must be a node recorded in the graph
+	// (a statement or control node of the function body). Nil means the
+	// function entry.
+	Start ast.Node
+	// Clear reports that the obligation is satisfied at n.
+	Clear func(n ast.Node) bool
+	// Sink reports that reaching n unclear is a violation.
+	Sink func(n ast.Node) bool
+	// ExitSink additionally treats reaching the synthetic Exit block —
+	// a return or the implicit fall-off-the-end — as a violation,
+	// recorded in Result.ReachedExit.
+	ExitSink bool
+}
+
+// Result holds the violations a Find call discovered.
+type Result struct {
+	// Sinks are the violating nodes in discovery order, deduplicated.
+	Sinks []ast.Node
+	// ReachedExit is set when ExitSink was requested and some path
+	// reached the function exit unclear.
+	ReachedExit bool
+}
+
+// Find runs the query over the graph. Back edges re-scan their loop
+// blocks from the top (a second iteration re-executes the whole body), so
+// loop-carried violations and loop-carried clears are both seen; each
+// block is explored at most once in the unclear state, which bounds the
+// search.
+func (g *Graph) Find(q Query) Result {
+	var res Result
+	seenBlock := map[*Block]bool{}
+	seenSink := map[ast.Node]bool{}
+	var walk func(b *Block, from int)
+	walk = func(b *Block, from int) {
+		for i := from; i < len(b.Nodes); i++ {
+			n := b.Nodes[i]
+			if q.Clear != nil && q.Clear(n) {
+				return
+			}
+			if q.Sink != nil && q.Sink(n) {
+				if !seenSink[n] {
+					seenSink[n] = true
+					res.Sinks = append(res.Sinks, n)
+				}
+				return
+			}
+		}
+		if b == g.Exit {
+			if q.ExitSink {
+				res.ReachedExit = true
+			}
+			return
+		}
+		for _, s := range b.Succs {
+			if !seenBlock[s] {
+				seenBlock[s] = true
+				walk(s, 0)
+			}
+		}
+	}
+	if q.Start == nil {
+		entry := g.Blocks[0]
+		seenBlock[entry] = true
+		walk(entry, 0)
+		return res
+	}
+	p, ok := g.pos[q.Start]
+	if !ok {
+		return res
+	}
+	walk(p.block, p.index+1)
+	return res
+}

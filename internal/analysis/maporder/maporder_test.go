@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"bpart/internal/analysis/analysistest"
+	"bpart/internal/analysis/maporder"
+)
+
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, "../testdata/maporder/a", maporder.Analyzer)
+}

@@ -1,0 +1,16 @@
+package noclock_test
+
+import (
+	"testing"
+
+	"bpart/internal/analysis/analysistest"
+	"bpart/internal/analysis/noclock"
+)
+
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, "../testdata/noclock/core", noclock.Analyzer)
+}
+
+func TestOutOfScopePackageIsExempt(t *testing.T) {
+	analysistest.Run(t, "../testdata/noclock/other", noclock.Analyzer)
+}

@@ -4,32 +4,38 @@
 // be Ended exactly once": a leaked span never records its duration, so the
 // JSONL timeline silently loses the phase it was supposed to measure. The
 // pass finds every `x := tr.Span(...)` whose result type has an End
-// method, then demands either a `defer x.End()` or an `x.End()` lexically
-// before every return in the variable's scope.
+// method, then walks the function's control-flow graph
+// (internal/analysis/cfg, via Pass.CFG) demanding that every execution
+// path from the start reaches an `x.End()` — direct or deferred — before
+// any return, before the function falls off its end, and before the
+// variable is overwritten by a fresh span.
 //
-// The return-path check is a lexical approximation, not a CFG: an End in
-// one branch satisfies returns that follow it. In exchange it has no false
-// positives on the repo's End-per-error-path style, and it still catches
-// the real leak class — an early return before any End exists at all.
-// Spans that escape (passed to a function, stored, returned) are assumed
-// ended by their new owner and skipped.
+// The check is a true all-paths analysis, not the lexical approximation
+// earlier revisions used: an End in one branch no longer excuses the
+// branch without one, and an End that is lexically below a return but
+// flow-wise before it (goto, loop back edges) no longer trips a false
+// positive. Two deliberate exemptions remain. Panic-only exits need no
+// End — the block that panics has no successors in the CFG, so paths
+// ending there are never charged (the trace is lost in the unwind
+// anyway). And spans that escape (passed to a function, stored, returned,
+// aliased) are assumed ended by their new owner and skipped.
 package spanend
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 
 	"bpart/internal/analysis"
+	"bpart/internal/analysis/cfg"
 )
 
 // Analyzer implements the pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "spanend",
-	Doc: "require every started telemetry span to be ended\n\n" +
-		"A span from Tracer.Span must reach End() on all return paths: either " +
-		"defer it or End it before each return. Leaked spans drop their phase " +
-		"from the trace timeline.",
+	Doc: "require every started telemetry span to be ended on all paths\n\n" +
+		"A span from Tracer.Span must reach End() on every control-flow path: " +
+		"either defer it or End it before each return (checked on the CFG). " +
+		"Leaked spans drop their phase from the trace timeline.",
 	Run: run,
 }
 
@@ -37,17 +43,29 @@ func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				checkFunc(pass, fd)
+				// Each function literal is its own frame: a span started
+				// inside a closure must be ended by that closure's paths.
+				checkFrame(pass, fd.Body)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if fl, ok := n.(*ast.FuncLit); ok {
+						checkFrame(pass, fl.Body)
+					}
+					return true
+				})
 			}
 		}
 	}
 	return nil
 }
 
-// checkFunc analyzes one function body.
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	parents := buildParents(fd.Body)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+// checkFrame analyzes the spans started directly in one function body
+// (spans started in nested literals belong to the nested frame).
+func checkFrame(pass *analysis.Pass, body *ast.BlockStmt) {
+	parents := buildParents(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != body {
+			return false
+		}
 		switch st := n.(type) {
 		case *ast.ExprStmt:
 			if call, ok := st.X.(*ast.CallExpr); ok && isSpanStart(pass, call) {
@@ -70,7 +88,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 					pass.Reportf(call.Pos(), "span discarded into _: its End can never be called")
 					continue
 				}
-				checkSpanVar(pass, fd, parents, id, call)
+				checkSpanVar(pass, body, parents, id, call)
 			}
 		}
 		return true
@@ -102,8 +120,9 @@ const (
 	useEscape
 )
 
-// checkSpanVar verifies the span held in id reaches End.
-func checkSpanVar(pass *analysis.Pass, fd *ast.FuncDecl, parents map[ast.Node]ast.Node, id *ast.Ident, call *ast.CallExpr) {
+// checkSpanVar verifies that the span held in id reaches End on every
+// control-flow path from its start.
+func checkSpanVar(pass *analysis.Pass, body *ast.BlockStmt, parents map[ast.Node]ast.Node, id *ast.Ident, call *ast.CallExpr) {
 	obj := pass.TypesInfo.Defs[id]
 	if obj == nil {
 		obj = pass.TypesInfo.Uses[id]
@@ -112,11 +131,20 @@ func checkSpanVar(pass *analysis.Pass, fd *ast.FuncDecl, parents map[ast.Node]as
 	if !ok || v.Parent() == nil || v.Parent() == pass.Pkg.Scope() {
 		return
 	}
-	start := call.End()
 
-	var hasDefer, escaped bool
-	var ends []token.Pos
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	g := pass.CFG(body)
+	startStmt := enclosingGraphNode(g, parents, call)
+	if startStmt == nil {
+		return // start buried in an expression the CFG cannot anchor
+	}
+
+	// Classify every mention of the variable. End and defer-End uses are
+	// lifted to their enclosing CFG statement: that statement clears the
+	// obligation on paths that execute it. Any escaping use transfers
+	// ownership and ends the analysis.
+	clear := map[ast.Node]bool{}
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
 		use, ok := n.(*ast.Ident)
 		if !ok || use == id {
 			return true
@@ -125,47 +153,68 @@ func checkSpanVar(pass *analysis.Pass, fd *ast.FuncDecl, parents map[ast.Node]as
 			return true
 		}
 		switch classifyUse(parents, use) {
-		case useEnd:
-			if use.Pos() > start {
-				ends = append(ends, use.Pos())
-			}
-		case useDeferEnd:
-			if use.Pos() > start {
-				hasDefer = true
+		case useEnd, useDeferEnd:
+			if stmt := enclosingGraphNode(g, parents, use); stmt != nil && stmt != startStmt {
+				clear[stmt] = true
 			}
 		case useEscape:
 			escaped = true
 		}
 		return true
 	})
-	if escaped || hasDefer {
+	if escaped {
 		return
 	}
-	if len(ends) == 0 {
-		pass.Reportf(call.Pos(), "span %q is never ended: defer %s.End() or End it on every path", id.Name, id.Name)
-		return
-	}
-	// Every return inside the variable's scope after the start needs an
-	// End lexically before it (returns belonging to nested closures run on
-	// someone else's clock and are skipped).
-	scope := v.Parent()
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		ret, ok := n.(*ast.ReturnStmt)
-		if !ok || ret.Pos() <= start || ret.Pos() >= scope.End() || inFuncLit(parents, ret) {
-			return true
+
+	// reassigns reports whether stmt overwrites v (a fresh Span start or
+	// any other assignment): reaching one with the current span unended
+	// leaks it. The start statement itself counts — reaching it again on
+	// a loop back edge restarts the span over an unended one.
+	reassigns := func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return false
 		}
-		ended := false
-		for _, e := range ends {
-			if e < ret.Pos() {
-				ended = true
-				break
+		for _, l := range as.Lhs {
+			if lid, ok := l.(*ast.Ident); ok {
+				if pass.TypesInfo.Defs[lid] == v || pass.TypesInfo.Uses[lid] == v {
+					return true
+				}
 			}
 		}
-		if !ended {
-			pass.Reportf(ret.Pos(), "span %q (started at %s) is not ended on this return path", id.Name, pass.Fset.Position(call.Pos()))
-		}
-		return true
+		return false
+	}
+
+	res := g.Find(cfg.Query{
+		Start: startStmt,
+		Clear: func(n ast.Node) bool { return clear[n] },
+		Sink: func(n ast.Node) bool {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				return true
+			}
+			return reassigns(n)
+		},
+		ExitSink: true,
 	})
+
+	if len(clear) == 0 {
+		// No End anywhere: one finding at the start reads better than one
+		// per leaking path — unless every path panics, which needs no End.
+		if len(res.Sinks) > 0 || res.ReachedExit {
+			pass.Reportf(call.Pos(), "span %q is never ended: defer %s.End() or End it on every path", id.Name, id.Name)
+		}
+		return
+	}
+	for _, sink := range res.Sinks {
+		if _, ok := sink.(*ast.ReturnStmt); ok {
+			pass.Reportf(sink.Pos(), "span %q (started at %s) is not ended on this return path", id.Name, pass.Fset.Position(call.Pos()))
+		} else {
+			pass.Reportf(sink.Pos(), "span %q (started at %s) is overwritten before being ended", id.Name, pass.Fset.Position(call.Pos()))
+		}
+	}
+	if res.ReachedExit {
+		pass.Reportf(body.Rbrace, "span %q (started at %s) is not ended on this return path", id.Name, pass.Fset.Position(call.Pos()))
+	}
 }
 
 // classifyUse decides what one mention of the span variable does with it.
@@ -221,13 +270,13 @@ func buildParents(root ast.Node) map[ast.Node]ast.Node {
 	return parents
 }
 
-// inFuncLit reports whether n sits inside a function literal below the
-// analyzed function's body.
-func inFuncLit(parents map[ast.Node]ast.Node, n ast.Node) bool {
-	for p := parents[n]; p != nil; p = parents[p] {
-		if _, ok := p.(*ast.FuncLit); ok {
-			return true
+// enclosingGraphNode climbs from n to the nearest ancestor that is a node
+// of the control-flow graph — the statement that anchors n on a path.
+func enclosingGraphNode(g *cfg.Graph, parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	for p := ast.Node(n); p != nil; p = parents[p] {
+		if g.Contains(p) {
+			return p
 		}
 	}
-	return false
+	return nil
 }

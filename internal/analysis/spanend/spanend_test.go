@@ -14,3 +14,10 @@ func TestSeededViolations(t *testing.T) {
 func TestSeededViolationsPartaudit(t *testing.T) {
 	analysistest.Run(t, "../testdata/spanend/partaudit", spanend.Analyzer)
 }
+
+// TestCFGOnlyCases pins the flow-sensitive behavior on fixtures a lexical
+// checker provably cannot decide: goto, labeled break, fallthrough,
+// conditional defer, loop back edges, panic-only exits, closure frames.
+func TestCFGOnlyCases(t *testing.T) {
+	analysistest.Run(t, "../testdata/spanend/cfg", spanend.Analyzer)
+}

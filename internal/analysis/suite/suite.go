@@ -4,19 +4,25 @@ package suite
 
 import (
 	"bpart/internal/analysis"
+	"bpart/internal/analysis/aliasret"
 	"bpart/internal/analysis/errio"
 	"bpart/internal/analysis/floateq"
+	"bpart/internal/analysis/maporder"
 	"bpart/internal/analysis/metricname"
+	"bpart/internal/analysis/noclock"
 	"bpart/internal/analysis/norawrand"
 	"bpart/internal/analysis/spanend"
 )
 
-// Analyzers returns the full bpartlint suite in stable order.
+// Analyzers returns the full bpartlint suite in stable (alphabetical) order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		aliasret.Analyzer,
 		errio.Analyzer,
 		floateq.Analyzer,
+		maporder.Analyzer,
 		metricname.Analyzer,
+		noclock.Analyzer,
 		norawrand.Analyzer,
 		spanend.Analyzer,
 	}

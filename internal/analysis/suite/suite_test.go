@@ -1,0 +1,34 @@
+package suite
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestInventory pins the suite's size and ordering: exactly these eight
+// analyzers, alphabetical by name, so CLI output, CI artifacts and the
+// Makefile inventory print stay stable.
+func TestInventory(t *testing.T) {
+	want := []string{"aliasret", "errio", "floateq", "maporder", "metricname", "noclock", "norawrand", "spanend"}
+	as := Analyzers()
+	var got []string
+	for _, a := range as {
+		got = append(got, a.Name)
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("suite = %v, want %v", got, want)
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("suite order is not alphabetical: %v", got)
+	}
+	for _, a := range as {
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing doc or run function", a.Name)
+		}
+		first := strings.SplitN(a.Doc, "\n", 2)[0]
+		if strings.HasSuffix(first, ".") || first == "" {
+			t.Errorf("analyzer %q doc first line should be a short undotted summary, got %q", a.Name, first)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package a seeds maporder violations: map ranges whose iteration order
+// escapes through each of the modeled channels, next to the clean idioms
+// the pass must stay silent on.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// KeysUnsorted returns keys in iteration order: nondeterministic.
+func KeysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order escapes via a slice "keys" used without a sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// KeysSorted is the canonical clean idiom: collect, sort, then use.
+func KeysSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// KeysSortedInHelper hides the sort in a helper the pass cannot see
+// through: the loop is (correctly, conservatively) still flagged —
+// callers should sort inline or waive with a reason.
+func KeysSortedInHelper(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order escapes via a slice "keys" used without a sort`
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(keys []string) { sort.Strings(keys) }
+
+// KeysSortedOnOnePath sorts only under a flag: the other path leaks.
+func KeysSortedOnOnePath(m map[string]int, deterministic bool) []string {
+	var keys []string
+	for k := range m { // want `map iteration order escapes via a slice "keys" used without a sort`
+		keys = append(keys, k)
+	}
+	if deterministic {
+		sort.Strings(keys)
+	}
+	return keys
+}
+
+// KeysCollectedUnused never touches the slice again: order cannot escape.
+func KeysCollectedUnused(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+}
+
+// PrintEach emits one line per entry in iteration order.
+func PrintEach(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration order escapes via fmt output`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// WriteEach uses a writer method instead of fmt; same leak.
+func WriteEach(w io.Writer, m map[string][]byte) {
+	for _, v := range m { // want `map iteration order escapes via a writer call`
+		w.Write(v)
+	}
+}
+
+// FloatSum accumulates floats: summation order changes the rounding.
+func FloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration order escapes via float accumulation`
+		sum += v
+	}
+	return sum
+}
+
+// FloatSumSpelledOut writes the accumulation as x = x + v; same leak.
+func FloatSumSpelledOut(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration order escapes via float accumulation`
+		sum = sum + v
+	}
+	return sum
+}
+
+// IntSum is exact and commutative: order-insensitive, no finding.
+func IntSum(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// StringConcat glues values in iteration order.
+func StringConcat(m map[string]string) string {
+	var out string
+	for _, v := range m { // want `map iteration order escapes via string concatenation`
+		out += v
+	}
+	return out
+}
+
+// SendEach exposes the order to whoever drains the channel.
+func SendEach(ch chan string, m map[string]int) {
+	for k := range m { // want `map iteration order escapes via a channel send`
+		ch <- k
+	}
+}
+
+// CountAndTransfer only counts and redistributes into another map:
+// order-insensitive, no finding.
+func CountAndTransfer(m map[string]int, dst map[string]int) int {
+	n := 0
+	for k, v := range m {
+		dst[k] = v
+		n++
+	}
+	return n
+}
+
+// MaxValue scans for a maximum over values: commutative, no finding.
+func MaxValue(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// InsideClosure anchors the loop in a function literal's own graph.
+func InsideClosure(m map[string]int) func() []string {
+	return func() []string {
+		var keys []string
+		for k := range m { // want `map iteration order escapes via a slice "keys" used without a sort`
+			keys = append(keys, k)
+		}
+		return keys
+	}
+}
+
+// InsideClosureSorted is the clean variant of the same shape.
+func InsideClosureSorted(m map[string]int) func() []string {
+	return func() []string {
+		var keys []string
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+}
+
+// TwoPhaseCollect appends from two map ranges into one slice and sorts
+// once at the end: the second loop's self-append extends the slice without
+// observing its order, so the sort obligation carries past it cleanly.
+func TwoPhaseCollect(a, b map[string]int) []string {
+	var names []string
+	for k := range a {
+		names = append(names, k)
+	}
+	for k := range b {
+		names = append(names, "b:"+k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TwoPhaseCollectUnsorted is the leaking variant: two collection phases
+// and no sort before the return.
+func TwoPhaseCollectUnsorted(a, b map[string]int) []string {
+	var names []string
+	for k := range a { // want `map iteration order escapes via a slice "names" used without a sort`
+		names = append(names, k)
+	}
+	for k := range b { // want `map iteration order escapes via a slice "names" used without a sort`
+		names = append(names, "b:"+k)
+	}
+	return names
+}
+
+// PerIterationBuffer formats into a buffer declared inside the loop: the
+// write stays within one iteration, and the collected blocks are sorted
+// before they escape. Clean on every channel.
+func PerIterationBuffer(w io.Writer, m map[string]int) {
+	var blocks []string
+	for k, v := range m {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s=%d\n", k, v)
+		blocks = append(blocks, b.String())
+	}
+	sort.Strings(blocks)
+	for _, bl := range blocks {
+		io.WriteString(w, bl)
+	}
+}
+
+// GuardedBySize checks only the length before sorting and using: len sees
+// the size, not the order, so the guard is not a use, and the emitting
+// path inside it sorts first. Clean.
+func GuardedBySize(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	if len(keys) > 0 {
+		sort.Strings(keys)
+		fmt.Fprint(w, strings.Join(keys, ","))
+	}
+}

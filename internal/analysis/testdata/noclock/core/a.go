@@ -1,0 +1,31 @@
+// Package core mirrors a deterministic package's path: every wall-clock
+// read below must be flagged, while pure time arithmetic stays allowed.
+package core
+
+import "time"
+
+// Elapsed reads the wall clock twice.
+func Elapsed() float64 {
+	start := time.Now() // want `wall-clock read time.Now in a deterministic package`
+	work()
+	return time.Since(start).Seconds() // want `wall-clock read time.Since in a deterministic package`
+}
+
+// Deadline arms a timer off the wall clock.
+func Deadline() <-chan time.Time {
+	return time.After(time.Second) // want `wall-clock read time.After in a deterministic package`
+}
+
+// Throttle sleeps, coupling progress to the host scheduler.
+func Throttle() {
+	time.Sleep(10 * time.Millisecond) // want `wall-clock read time.Sleep in a deterministic package`
+}
+
+// PureArithmetic only manipulates Durations and fixed instants: exact and
+// host-independent, no findings.
+func PureArithmetic() time.Time {
+	d := 3 * time.Second
+	return time.Unix(0, 0).Add(d)
+}
+
+func work() {}

@@ -1,0 +1,13 @@
+// Package other sits outside the deterministic set: wall-clock reads are
+// its own business and must not be flagged.
+package other
+
+import "time"
+
+// Uptime may read the clock freely here.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Stamp too.
+func Stamp() time.Time { return time.Now() }

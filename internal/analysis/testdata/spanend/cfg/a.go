@@ -1,0 +1,160 @@
+// Package cfgonly seeds spanend cases a lexical checker provably cannot
+// decide: every finding (and deliberate non-finding) below hinges on
+// control-flow paths — branch merges, goto, labeled break, switch
+// fallthrough, conditional defer, loop back edges, and panic-only exits.
+// The old lexical approximation got all of these wrong in one direction
+// or the other; the CFG-backed pass must get every one right.
+package cfgonly
+
+import "errors"
+
+// Span mimics telemetry.Span.
+type Span struct{}
+
+// End closes the span.
+func (Span) End() {}
+
+// Annotate attaches attributes.
+func (Span) Annotate() {}
+
+// Tracer mimics telemetry.Tracer.
+type Tracer struct{}
+
+// Span opens a span.
+func (Tracer) Span(name string) Span { return Span{} }
+
+var cond bool
+
+func pick() int { return 0 }
+
+// BranchEndOnly ends the span in one branch only; the shared return after
+// the merge leaks the other path. A lexical check is satisfied by any End
+// above the return — the flow-sensitive pass is not.
+func BranchEndOnly(tr Tracer) error {
+	sp := tr.Span("phase")
+	if cond {
+		sp.End()
+	}
+	return nil // want `span "sp" .* is not ended on this return path`
+}
+
+// ImplicitExitLeak falls off the end of the function with the span live
+// on the no-End path; the leak anchors at the closing brace.
+func ImplicitExitLeak(tr Tracer) {
+	sp := tr.Span("phase")
+	if cond {
+		sp.End()
+	}
+} // want `span "sp" .* is not ended on this return path`
+
+// GotoEndsBeforeReturn is the dual false positive: the only return sits
+// lexically above the End, yet every execution path runs the End first
+// (entry -> finish -> ret). The lexical pass flagged this; the CFG pass
+// must stay silent.
+func GotoEndsBeforeReturn(tr Tracer) {
+	sp := tr.Span("phase")
+	goto finish
+ret:
+	return
+finish:
+	sp.End()
+	goto ret
+}
+
+// LabeledBreakLeak leaves the loop through two labeled breaks; only one
+// of them ends the span first.
+func LabeledBreakLeak(tr Tracer) error {
+	sp := tr.Span("phase")
+loop:
+	for {
+		switch pick() {
+		case 1:
+			sp.End()
+			break loop
+		case 2:
+			break loop
+		}
+	}
+	return errors.New("done") // want `span "sp" .* is not ended on this return path`
+}
+
+// FallthroughShared reaches case 2 both via fallthrough (after End) and
+// directly from the switch head (span still live).
+func FallthroughShared(tr Tracer) error {
+	sp := tr.Span("phase")
+	switch pick() {
+	case 1:
+		sp.End()
+		fallthrough
+	case 2:
+		return errors.New("two") // want `span "sp" .* is not ended on this return path`
+	}
+	sp.End()
+	return nil
+}
+
+// ConditionalDefer registers the deferred End under a guard; the other
+// path returns with the span live. A lexical "has a defer somewhere"
+// check accepts this — the CFG sees the uncovered path.
+func ConditionalDefer(tr Tracer, on bool) error {
+	sp := tr.Span("phase")
+	if on {
+		defer sp.End()
+	}
+	return nil // want `span "sp" .* is not ended on this return path`
+}
+
+// DeferInLoop is clean: each iteration's span has its End registered
+// before any back edge or exit can be taken.
+func DeferInLoop(tr Tracer, n int) {
+	for i := 0; i < n; i++ {
+		sp := tr.Span("iter")
+		defer sp.End()
+		sp.Annotate()
+	}
+}
+
+// LoopRestartLeak can skip the End via continue: the back edge overwrites
+// a live span (reported at the restart), and leaving the loop on that
+// same path leaks it out of the function (reported at the brace).
+func LoopRestartLeak(tr Tracer, n int) {
+	for i := 0; i < n; i++ {
+		sp := tr.Span("iter") // want `span "sp" .* is overwritten before being ended`
+		if cond {
+			continue
+		}
+		sp.End()
+	}
+} // want `span "sp" .* is not ended on this return path`
+
+// PanicOnlyExit needs no End on the panicking path: the CFG gives the
+// panic block no successors, so the obligation is never charged there.
+func PanicOnlyExit(tr Tracer) {
+	sp := tr.Span("phase")
+	if cond {
+		panic("boom")
+	}
+	sp.End()
+}
+
+// PanicAlways never returns normally, so no End is required at all — the
+// lexical pass reported a leak here.
+func PanicAlways(tr Tracer) {
+	sp := tr.Span("phase")
+	sp.Annotate()
+	panic("boom")
+}
+
+// ClosureFrame: the outer function's paths need not end a span started
+// inside a closure — but the closure's own paths must.
+func ClosureFrame(tr Tracer) error {
+	fn := func() error {
+		sp := tr.Span("inner")
+		if cond {
+			return errors.New("bail") // want `span "sp" .* is not ended on this return path`
+		}
+		sp.End()
+		return nil
+	}
+	return fn()
+}

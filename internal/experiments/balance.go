@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"time"
 
 	"bpart/internal/core"
 	"bpart/internal/gen"
@@ -12,6 +11,7 @@ import (
 	"bpart/internal/metrics"
 	"bpart/internal/multilevel"
 	"bpart/internal/partition"
+	"bpart/internal/telemetry"
 	"bpart/internal/vcut"
 )
 
@@ -244,11 +244,11 @@ func Table2(opt Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			start := time.Now()
+			sw := telemetry.NewStopwatch()
 			if _, err := p.Partition(g, k); err != nil {
 				return nil, err
 			}
-			row = append(row, fmt.Sprintf("%.4f", time.Since(start).Seconds()))
+			row = append(row, fmt.Sprintf("%.4f", sw.Seconds()))
 		}
 		t.AddRow(row...)
 	}
@@ -377,12 +377,12 @@ func RelatedWork(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
+		sw := telemetry.NewStopwatch()
 		a, err := p.Partition(g, k)
 		if err != nil {
 			return nil, err
 		}
-		dt := time.Since(start).Seconds()
+		dt := sw.Seconds()
 		vs, es := graph.PartSizes(g, a.Parts, k)
 		t.AddRow(scheme, f4(metrics.Bias(vs)), f4(metrics.Bias(es)),
 			f4(metrics.EdgeCutRatio(g, a.Parts)), fmt.Sprintf("%.3f", dt))

@@ -390,3 +390,24 @@ func BenchmarkChungLu50k(b *testing.B) {
 		}
 	}
 }
+
+// TestBarabasiAlbertDeterministic pins the same-seed rerun guarantee the
+// generator lost for years to a map-ordered attachment loop: the chosen
+// targets were attached (and fed back into the sampling pool) in map
+// iteration order, so identical seeds grew different graphs.
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	g1, err1 := BarabasiAlbert(1500, 5, 7)
+	g2, err2 := BarabasiAlbert(1500, 5, 7)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	e1, e2 := g1.EdgeList(), g2.EdgeList()
+	if len(e1) != len(e2) {
+		t.Fatalf("edge counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}

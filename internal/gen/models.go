@@ -2,6 +2,7 @@ package gen
 
 import (
 	"fmt"
+	"sort"
 
 	"bpart/internal/graph"
 	"bpart/internal/xrand"
@@ -87,7 +88,16 @@ func BarabasiAlbert(n, attach int, seed uint64) (*graph.Graph, error) {
 				chosen[t] = true
 			}
 		}
+		// Attach in sorted target order: chosen is a map, and letting its
+		// iteration order pick the arc insertion order (and the endpoints
+		// slice the next rounds sample from) made every run grow a
+		// different graph from the same seed.
+		targets := make([]graph.VertexID, 0, len(chosen))
 		for t := range chosen {
+			targets = append(targets, t)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		for _, t := range targets {
 			b.AddUndirected(graph.VertexID(v), t)
 			endpoints = append(endpoints, graph.VertexID(v), t)
 		}

@@ -149,12 +149,12 @@ func (r *Registry) HistogramSummaries() []HistogramSummary {
 	for name := range r.histograms {
 		names = append(names, name)
 	}
+	sort.Strings(names)
 	hs := make(map[string]*Histogram, len(names))
 	for _, name := range names {
 		hs[name] = r.histograms[name]
 	}
 	r.mu.RUnlock()
-	sort.Strings(names)
 	out := make([]HistogramSummary, 0, len(names))
 	for _, name := range names {
 		s := hs[name].Summary()

@@ -1,0 +1,31 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStopwatchElapsedGrows(t *testing.T) {
+	sw := NewStopwatch()
+	time.Sleep(time.Millisecond)
+	first := sw.Elapsed()
+	if first <= 0 {
+		t.Fatalf("Elapsed() = %v, want > 0", first)
+	}
+	time.Sleep(time.Millisecond)
+	if second := sw.Elapsed(); second < first {
+		t.Fatalf("Elapsed() went backwards: %v then %v", first, second)
+	}
+	if sw.Seconds() <= 0 {
+		t.Fatalf("Seconds() = %v, want > 0", sw.Seconds())
+	}
+}
+
+func TestStopwatchRestart(t *testing.T) {
+	sw := NewStopwatch()
+	time.Sleep(5 * time.Millisecond)
+	sw.Restart()
+	if e := sw.Elapsed(); e > 4*time.Millisecond {
+		t.Fatalf("Elapsed() after Restart = %v, want well under the pre-restart 5ms", e)
+	}
+}

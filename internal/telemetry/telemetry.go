@@ -198,7 +198,9 @@ func (s *span) End(attrs ...Attr) {
 }
 
 func startSpan(rec recorder, name string, attrs []Attr) Span {
-	return &span{rec: rec, name: name, start: time.Now(), attrs: attrs}
+	// Copy: the span outlives the call, and a caller reusing its variadic
+	// backing array would otherwise rewrite the span's attributes.
+	return &span{rec: rec, name: name, start: time.Now(), attrs: append([]Attr(nil), attrs...)}
 }
 
 // Memory is an in-process tracer for tests: it retains every record.
@@ -218,7 +220,7 @@ func (m *Memory) Span(name string, attrs ...Attr) Span { return startSpan(m, nam
 
 // Event implements Tracer.
 func (m *Memory) Event(name string, attrs ...Attr) {
-	m.record(Record{Time: time.Now(), Name: name, Attrs: attrs})
+	m.record(Record{Time: time.Now(), Name: name, Attrs: append([]Attr(nil), attrs...)})
 }
 
 func (m *Memory) record(r Record) {
@@ -291,7 +293,7 @@ func (t *JSONL) Span(name string, attrs ...Attr) Span { return startSpan(t, name
 
 // Event implements Tracer.
 func (t *JSONL) Event(name string, attrs ...Attr) {
-	t.record(Record{Time: time.Now(), Name: name, Attrs: attrs})
+	t.record(Record{Time: time.Now(), Name: name, Attrs: append([]Attr(nil), attrs...)})
 }
 
 // jsonRecord is the wire shape of one JSONL line.
