@@ -193,20 +193,47 @@ func retainingLHS(pass *analysis.Pass, dst ast.Expr) bool {
 	return false
 }
 
-// reassigns reports whether stmt assigns a fresh value to v.
+// reassigns reports whether stmt assigns a fresh value to v. A
+// self-append — `p = append(p, x)` — is not a clear: append reuses the
+// caller's backing array whenever capacity suffices, so the retained
+// value can still alias it. The copying idiom `p = append([]T(nil), p...)`
+// clears because its first argument is a fresh slice.
 func reassigns(pass *analysis.Pass, n ast.Node, v *types.Var) bool {
 	as, ok := n.(*ast.AssignStmt)
 	if !ok {
 		return false
 	}
-	for _, l := range as.Lhs {
-		if id, ok := l.(*ast.Ident); ok {
-			if pass.TypesInfo.Uses[id] == v || pass.TypesInfo.Defs[id] == v {
-				return true
-			}
+	for i, l := range as.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || (pass.TypesInfo.Uses[id] != v && pass.TypesInfo.Defs[id] != v) {
+			continue
 		}
+		// Positional RHS only exists for non-tuple assignments; a tuple
+		// assignment (`p, err := f()`) always produces a fresh value.
+		if len(as.Rhs) == len(as.Lhs) && selfAppend(pass, as.Rhs[i], v) {
+			continue
+		}
+		return true
 	}
 	return false
+}
+
+// selfAppend reports whether e is `append(v, ...)` — an append whose
+// destination is the parameter itself, which may grow in place.
+func selfAppend(pass *analysis.Pass, e ast.Expr, v *types.Var) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[arg] == v
 }
 
 // buildParents records each node's parent within root.

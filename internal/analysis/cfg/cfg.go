@@ -432,6 +432,10 @@ func (b *builder) branch(s *ast.BranchStmt) {
 // returns. The check is a name heuristic (no type information reaches the
 // builder): the builtin panic, os.Exit, runtime.Goexit, the log.Fatal
 // family, and testing's goroutine-terminating Fatal/FailNow/Skip family.
+// The Fatal family is recognised only on the conventional receivers —
+// the log package and testing's t/b/tb parameters — so a custom type
+// whose Fatal method returns normally does not cut the CFG path and
+// starve downstream all-path analyses of the statements after the call.
 func terminates(e ast.Expr) bool {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)
 	if !ok {
@@ -442,16 +446,24 @@ func terminates(e ast.Expr) bool {
 		return fun.Name == "panic"
 	case *ast.SelectorExpr:
 		recv, _ := fun.X.(*ast.Ident)
+		if recv == nil {
+			return false
+		}
 		switch fun.Sel.Name {
 		case "Exit":
-			return recv != nil && recv.Name == "os"
+			return recv.Name == "os"
 		case "Goexit":
-			return recv != nil && recv.Name == "runtime"
+			return recv.Name == "runtime"
 		case "Fatal", "Fatalf", "Fatalln":
-			return true
+			return recv.Name == "log" || testingRecv[recv.Name]
 		case "FailNow", "SkipNow":
-			return true
+			return testingRecv[recv.Name]
 		}
 	}
 	return false
 }
+
+// testingRecv names the conventional identifiers for *testing.T/B and
+// testing.TB parameters, whose Fatal/FailNow/SkipNow terminate the
+// goroutine.
+var testingRecv = map[string]bool{"t": true, "b": true, "tb": true}

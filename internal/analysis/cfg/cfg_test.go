@@ -254,6 +254,37 @@ func TestOsExitTerminates(t *testing.T) {
 	assertReach(t, g, "pre", "dead", false)
 }
 
+func TestFatalTerminatesOnKnownReceivers(t *testing.T) {
+	g := build(t, `
+	pre()
+	log.Fatalf("boom: %v", 1)
+	dead()`)
+	assertReach(t, g, "pre", "dead", false)
+
+	g = build(t, `
+	pre()
+	t.Fatal("boom")
+	dead()`)
+	assertReach(t, g, "pre", "dead", false)
+
+	g = build(t, `
+	pre()
+	tb.FailNow()
+	dead()`)
+	assertReach(t, g, "pre", "dead", false)
+}
+
+// TestCustomFatalDoesNotTerminate pins the receiver restriction: a Fatal
+// method on an arbitrary value may return normally, so it must not cut
+// the path and hide the statements after it from all-path analyses.
+func TestCustomFatalDoesNotTerminate(t *testing.T) {
+	g := build(t, `
+	pre()
+	logger.Fatal("soft")
+	after()`)
+	assertReach(t, g, "pre", "after", true)
+}
+
 func TestReturnEdgesIntoExit(t *testing.T) {
 	g := build(t, `
 	if cond() {

@@ -53,12 +53,25 @@ var forbidden = map[string]bool{
 	"NewTimer":  true,
 }
 
-// scoped reports whether the package must stay deterministic. Testdata
-// fixtures mirror the real layout (testdata/noclock/core), so the same
-// substrings match both.
+// deterministic names the packages that must rerun bit-identically.
+var deterministic = map[string]bool{
+	"core":        true,
+	"partition":   true,
+	"cluster":     true,
+	"engine":      true,
+	"walk":        true,
+	"fault":       true,
+	"experiments": true,
+}
+
+// scoped reports whether the package must stay deterministic. Whole path
+// segments are compared — not raw substrings — so a future
+// internal/clustering or internal/walkthrough is not pulled into scope by
+// name coincidence. Testdata fixtures mirror the real layout
+// (testdata/noclock/core), so the same segments match both.
 func scoped(path string) bool {
-	for _, s := range []string{"/core", "/partition", "/cluster", "/engine", "/walk", "/fault", "/experiments"} {
-		if strings.Contains(path, s) {
+	for _, seg := range strings.Split(path, "/") {
+		if deterministic[seg] {
 			return true
 		}
 	}

@@ -14,3 +14,10 @@ func TestSeededViolations(t *testing.T) {
 func TestOutOfScopePackageIsExempt(t *testing.T) {
 	analysistest.Run(t, "../testdata/noclock/other", noclock.Analyzer)
 }
+
+// TestSegmentNotSubstring pins scope matching to whole path segments: a
+// package named clustering shares a prefix with the deterministic package
+// cluster and must stay exempt.
+func TestSegmentNotSubstring(t *testing.T) {
+	analysistest.Run(t, "../testdata/noclock/clustering", noclock.Analyzer)
+}

@@ -140,8 +140,12 @@ func checkSpanVar(pass *analysis.Pass, body *ast.BlockStmt, parents map[ast.Node
 
 	// Classify every mention of the variable. End and defer-End uses are
 	// lifted to their enclosing CFG statement: that statement clears the
-	// obligation on paths that execute it. Any escaping use transfers
-	// ownership and ends the analysis.
+	// obligation on paths that execute it. An End inside a nested closure
+	// only lifts when the closure provably runs at that statement
+	// (immediately invoked or deferred there); a closure merely stored or
+	// passed along may run later, on some paths, or never — the span
+	// escapes into it instead. Any escaping use transfers ownership and
+	// ends the analysis.
 	clear := map[ast.Node]bool{}
 	escaped := false
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -154,6 +158,10 @@ func checkSpanVar(pass *analysis.Pass, body *ast.BlockStmt, parents map[ast.Node
 		}
 		switch classifyUse(parents, use) {
 		case useEnd, useDeferEnd:
+			if !runsAtStatement(parents, use, body) {
+				escaped = true
+				return true
+			}
 			if stmt := enclosingGraphNode(g, parents, use); stmt != nil && stmt != startStmt {
 				clear[stmt] = true
 			}
@@ -215,6 +223,38 @@ func checkSpanVar(pass *analysis.Pass, body *ast.BlockStmt, parents map[ast.Node
 	if res.ReachedExit {
 		pass.Reportf(body.Rbrace, "span %q (started at %s) is not ended on this return path", id.Name, pass.Fset.Position(call.Pos()))
 	}
+}
+
+// runsAtStatement reports whether every FuncLit boundary between use and
+// the frame body is executed exactly when its anchoring statement runs:
+// the literal is the function of a call that is either evaluated in place
+// (`func() { sp.End() }()`) or deferred (`defer func() { sp.End() }()`).
+// A literal that is stored, passed to a function, or launched with `go`
+// gives no such guarantee — its End may run later, on some paths only, or
+// never.
+func runsAtStatement(parents map[ast.Node]ast.Node, use ast.Node, body *ast.BlockStmt) bool {
+	for p := parents[use]; p != nil && p != ast.Node(body); p = parents[p] {
+		fl, ok := p.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		outer := parents[fl]
+		for {
+			pe, ok := outer.(*ast.ParenExpr)
+			if !ok {
+				break
+			}
+			outer = parents[pe]
+		}
+		call, ok := outer.(*ast.CallExpr)
+		if !ok || ast.Unparen(call.Fun) != ast.Expr(fl) {
+			return false // stored or passed along, not invoked here
+		}
+		if g, ok := parents[call].(*ast.GoStmt); ok && g.Call == call {
+			return false // runs concurrently, unordered with frame exit
+		}
+	}
+	return true
 }
 
 // classifyUse decides what one mention of the span variable does with it.

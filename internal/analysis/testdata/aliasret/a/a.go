@@ -70,6 +70,20 @@ func Cloned(ids []int) []int {
 	return append([]int(nil), ids...)
 }
 
+// Grown appends in place before returning: append reuses the caller's
+// backing array whenever capacity suffices, so the result can still
+// alias it — a self-append is not a defensive copy.
+func Grown(ids []int, x int) []int {
+	ids = append(ids, x)
+	return ids // want `Grown returns its caller-supplied slice "ids" without copying`
+}
+
+// GrownIntoField self-appends and then retains: same aliasing hazard.
+func (s *Store) GrownIntoField(ids []int, x int) {
+	ids = append(ids, x)
+	s.ids = ids // want `GrownIntoField retains its caller-supplied slice "ids" without copying`
+}
+
 // Sum only reads the parameter: clean.
 func Sum(ids []int) int {
 	total := 0

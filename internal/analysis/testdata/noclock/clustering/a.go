@@ -1,0 +1,12 @@
+// Package clustering shares a prefix with the deterministic package
+// cluster but is not it: scope matching compares whole path segments, so
+// nothing here may be flagged by name coincidence.
+package clustering
+
+import "time"
+
+// Stamp may read the clock freely here.
+func Stamp() time.Time { return time.Now() }
+
+// Nap too.
+func Nap() { time.Sleep(time.Millisecond) }

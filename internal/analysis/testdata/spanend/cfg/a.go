@@ -158,3 +158,42 @@ func ClosureFrame(tr Tracer) error {
 	}
 	return fn()
 }
+
+// InvokedClosureEnd runs the literal at its own statement, so the End
+// inside it executes exactly when the statement does: a genuine clear.
+func InvokedClosureEnd(tr Tracer) {
+	sp := tr.Span("phase")
+	func() { sp.End() }()
+}
+
+// DeferredClosureEnd is `defer sp.End()` with one wrapper: the deferred
+// literal runs at frame exit on every path through the defer statement.
+func DeferredClosureEnd(tr Tracer) error {
+	sp := tr.Span("phase")
+	defer func() { sp.End() }()
+	if cond {
+		return errors.New("bail")
+	}
+	return nil
+}
+
+// StoredClosureEscapes: a literal that is merely stored may run later, on
+// some paths only, or never — its End must not discharge the span at the
+// definition site. The span escapes into the closure instead (assumed
+// ended by its new owner), so the pass stays silent without wrongly
+// treating `f := ...` as a clear on the paths that skip f().
+func StoredClosureEscapes(tr Tracer) {
+	sp := tr.Span("phase")
+	f := func() { sp.End() }
+	if cond {
+		return
+	}
+	f()
+}
+
+// GoClosureEscapes: a goroutine's End is unordered with frame exit — no
+// guarantee it runs before the trace is read. Escape, not a clear.
+func GoClosureEscapes(tr Tracer) {
+	sp := tr.Span("phase")
+	go func() { sp.End() }()
+}
