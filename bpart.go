@@ -32,6 +32,7 @@ import (
 	"bpart/internal/multilevel"
 	"bpart/internal/partaudit"
 	"bpart/internal/partition"
+	"bpart/internal/resview"
 	"bpart/internal/telemetry"
 	"bpart/internal/vcut"
 	"bpart/internal/walk"
@@ -261,6 +262,57 @@ func Audit(component any, a *Auditor) bool {
 // is tolerated and flagged via AuditLog.Truncated; interior damage is a
 // hard error.
 func ReadAuditLog(r io.Reader) (*AuditLog, error) { return partaudit.ReadLog(r) }
+
+// ---- runtime resource observability ----
+
+// PhaseProbe receives resource phase hooks (begin/end spans around named
+// phases, laps at iteration boundaries) from instrumented components. The
+// concrete capture is ResourceProbe; components hold only this interface.
+type PhaseProbe = telemetry.PhaseProbe
+
+// PhaseEnd closes one PhaseProbe.BeginPhase observation.
+type PhaseEnd = telemetry.PhaseEnd
+
+// ResourceProbe captures wall-clock self-time, allocation/GC deltas and
+// goroutine counts around named phases and writes one versioned JSONL
+// `resource` record per phase. A nil *ResourceProbe is a valid no-op.
+type ResourceProbe = resview.Probe
+
+// ResourceLog is a parsed resource log (see ReadResourceLog).
+type ResourceLog = resview.Log
+
+// ResourceRecord is one parsed resource record.
+type ResourceRecord = resview.Record
+
+// NopResourceProbe returns the no-op phase probe — the zero-cost default
+// behind every hook site, and the baseline for the probe-overhead gates.
+func NopResourceProbe() PhaseProbe { return telemetry.NopProbe() }
+
+// NewResourceProbe returns a probe writing resource records to w. Call
+// Close (or Flush) when done; it surfaces the first write error. Probing
+// is pure observation: a probed run's deterministic artifacts are
+// byte-identical to an unprobed run's.
+func NewResourceProbe(w io.Writer) *ResourceProbe { return resview.NewProbe(w) }
+
+// InstrumentResources attaches a resource probe to any component that
+// supports resource phases (BPart, IterationEngine, WalkEngine). It
+// reports whether the component accepted the probe; nil detaches.
+func InstrumentResources(component any, p PhaseProbe) bool {
+	pr, ok := component.(telemetry.Probeable)
+	if !ok {
+		return false
+	}
+	pr.SetResourceProbe(p)
+	return true
+}
+
+// ReadResourceLog parses a JSONL resource log. A torn final line (crashed
+// run) is tolerated and flagged via ResourceLog.Truncated; interior damage
+// is a hard error.
+func ReadResourceLog(r io.Reader) (*ResourceLog, error) { return resview.Read(r) }
+
+// ReadResourceLogFile parses the JSONL resource log at path.
+func ReadResourceLogFile(path string) (*ResourceLog, error) { return resview.ReadFile(path) }
 
 // ---- vertex-cut partitioning (the §5 alternative family) ----
 

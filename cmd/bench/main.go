@@ -23,7 +23,11 @@
 // -checkpoint-every overrides (or, without -fault, enables) superstep
 // checkpointing. With -pprof, /debug/pprof/*, /metrics and /debug/vars
 // are served on the given address while the benchmark runs — profile the
-// harness live.
+// harness live. With -resources, one JSONL resource record per phase
+// (experiments, partition streams, BPart layers, cluster supersteps,
+// scaling-probe replays) is written for cmd/tracestat's `resources`
+// subcommand, and the -json artifact grows a resources section with the
+// measured speedup curve; -widths overrides the scaling ladder.
 package main
 
 import (
@@ -33,6 +37,8 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -64,6 +70,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ckptEvery := fs.Int("checkpoint-every", 0, "override the schedule's checkpoint interval; without -fault, >0 enables checkpointing with no faults (0 = schedule default, negative disables)")
 	deterministic := fs.Bool("deterministic", false, "zero the artifact's wall-clock fields so identical flags yield byte-identical output")
 	pprofAddr := fs.String("pprof", "", "serve /debug/pprof, /metrics and /debug/vars on this address")
+	resPath := fs.String("resources", "", "write runtime resource records (JSONL, see cmd/tracestat resources) to this file and add a resources section to the -json artifact")
+	widthsFlag := fs.String("widths", "", "comma-separated scaling-probe worker ladder (default with -resources: powers of two up to NumCPU; otherwise 1,2,4)")
 	fs.Var(&ids, "id", "experiment ID to run (repeatable; default all)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -110,6 +118,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			f.Close()
 		}
 	}
+	// The probe is declared as the concrete nil-safe type: with no
+	// -resources flag every hook below is a nil-receiver no-op, and the run
+	// stays on the byte-identical disabled path.
+	var probe *bpart.ResourceProbe
+	var resClose func()
+	if *resPath != "" {
+		f, err := os.Create(*resPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "bench:", err)
+			return 1
+		}
+		probe = bpart.NewResourceProbe(f)
+		resClose = func() {
+			if err := probe.Close(); err != nil {
+				fmt.Fprintln(stderr, "bench: resources flush:", err)
+			}
+			f.Close()
+		}
+	}
+	widths, err := parseWidths(*widthsFlag, *resPath != "")
+	if err != nil {
+		fmt.Fprintln(stderr, "bench:", err)
+		return 2
+	}
 	if *pprofAddr != "" {
 		addr := *pprofAddr
 		go func() {
@@ -123,7 +155,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, id := range ids {
 		selected[id] = true
 	}
-	opt := bpart.ExperimentOptions{Scale: *scale, Walkers: *walkers, Tracer: tracer, Metrics: reg, Faults: faults}
+	opt := bpart.ExperimentOptions{Scale: *scale, Walkers: *walkers, Tracer: tracer, Metrics: reg, Faults: faults, Widths: widths}
+	if probe != nil {
+		opt.Probe = probe
+	}
 	artifact := bpart.NewBenchArtifact(opt)
 	fmt.Fprintf(stdout, "# bpart experiment run: scale=%.2f\n\n", *scale)
 	failed := 0
@@ -136,7 +171,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sp := tracer.Span("bench.experiment",
 			bpart.TraceString("id", id),
 			bpart.TraceFloat("scale", *scale))
+		pe := probe.BeginPhase("bench.experiment", bpart.TraceString("id", id))
 		tbl, err := bpart.RunExperiment(id, opt)
+		pe.EndPhase()
 		if err != nil {
 			sp.End(bpart.TraceString("error", err.Error()))
 			artifact.RecordExperiment(id, time.Since(start).Seconds(), 0, err)
@@ -169,6 +206,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "bench: artifact:", err)
 			failed++
 		} else {
+			if *resPath != "" {
+				if err := artifact.CollectResources(opt); err != nil {
+					fmt.Fprintln(stderr, "bench: resources:", err)
+					failed++
+				}
+			}
 			if *deterministic {
 				artifact.StripWallClock()
 			}
@@ -183,10 +226,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if traceClose != nil {
 		traceClose()
 	}
+	if resClose != nil {
+		resClose()
+		fmt.Fprintf(stdout, "# wrote %s\n", *resPath)
+	}
 	if failed > 0 {
 		return 1
 	}
 	return 0
+}
+
+// parseWidths resolves the scaling-probe worker ladder: an explicit
+// comma-separated -widths list wins; otherwise -resources runs select the
+// host's power-of-two ladder up to NumCPU, and plain runs keep the
+// harness's host-independent default (nil).
+func parseWidths(s string, hostLadder bool) ([]int, error) {
+	if s == "" {
+		if !hostLadder {
+			return nil, nil
+		}
+		n := runtime.NumCPU()
+		var ws []int
+		for w := 1; w < n; w *= 2 {
+			ws = append(ws, w)
+		}
+		return append(ws, n), nil
+	}
+	var ws []int
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-widths: %q is not a positive worker count", part)
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
 }
 
 // runAudited performs one fully audited BPart partition of the paper's

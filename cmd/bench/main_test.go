@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"bpart"
 )
 
 // Two bench runs with identical seeds and flags must write byte-identical
@@ -180,5 +182,171 @@ func TestBenchList(t *testing.T) {
 		if !strings.Contains(stdout.String(), want) {
 			t.Fatalf("-list missing %q:\n%s", want, stdout.String())
 		}
+	}
+}
+
+// normalizeTrace blanks the two host-dependent fields every trace line
+// carries (the wall timestamp and span duration), leaving the deterministic
+// content — record names, order, and every simulated attribute — intact.
+func normalizeTrace(t *testing.T, raw []byte) string {
+	t.Helper()
+	var out strings.Builder
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var rec map[string]json.RawMessage
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		delete(rec, "ts")
+		delete(rec, "dur_us")
+		norm, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Write(norm)
+		out.WriteByte('\n')
+	}
+	return out.String()
+}
+
+// The resource probe is observation-only: a -resources run's deterministic
+// artifacts (trace modulo wall clocks, audit, and the BENCH JSON apart
+// from its additive resources section) must be identical to a run without
+// the flag.
+func TestBenchResourcesDisabledPathIdentical(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(tag string, extra ...string) (jsonB, traceB, auditB []byte) {
+		t.Helper()
+		jsonPath := filepath.Join(dir, tag+".json")
+		tracePath := filepath.Join(dir, tag+"_trace.jsonl")
+		auditPath := filepath.Join(dir, tag+"_audit.jsonl")
+		args := append([]string{
+			"-scale", "0.02", "-id", "Fig 3",
+			"-json", jsonPath, "-trace", tracePath, "-audit", auditPath, "-deterministic",
+		}, extra...)
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("bench exited %d: %s", code, stderr.String())
+		}
+		for _, p := range []struct {
+			path string
+			out  *[]byte
+		}{{jsonPath, &jsonB}, {tracePath, &traceB}, {auditPath, &auditB}} {
+			b, err := os.ReadFile(p.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			*p.out = b
+		}
+		return
+	}
+	plainJSON, plainTrace, plainAudit := runOnce("plain")
+	resJSON, resTrace, resAudit := runOnce("probed",
+		"-resources", filepath.Join(dir, "res.jsonl"), "-widths", "1,2")
+	if nt1, nt2 := normalizeTrace(t, plainTrace), normalizeTrace(t, resTrace); nt1 != nt2 {
+		t.Fatal("-resources perturbed the trace's deterministic content")
+	}
+	if !bytes.Equal(plainAudit, resAudit) {
+		t.Fatal("-resources perturbed the audit log")
+	}
+	// The probed JSON differs only by its additive resources section.
+	var plain, probed map[string]json.RawMessage
+	if err := json.Unmarshal(plainJSON, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(resJSON, &probed); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain["resources"]; ok {
+		t.Fatal("artifact grew a resources section without -resources")
+	}
+	if _, ok := probed["resources"]; !ok {
+		t.Fatal("-resources did not add the resources section")
+	}
+	delete(probed, "resources")
+	if len(plain) != len(probed) {
+		t.Fatalf("section sets differ: %d vs %d", len(plain), len(probed))
+	}
+	for k, v := range plain {
+		if !bytes.Equal(v, probed[k]) {
+			t.Fatalf("section %q differs under -resources:\n%s\nvs\n%s", k, v, probed[k])
+		}
+	}
+}
+
+// -resources writes a parseable resource log whose scaling spans cover the
+// requested ladder, and the artifact's resources section survives
+// -deterministic with its verification counts intact.
+func TestBenchResourcesFlag(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "bench.json")
+	resPath := filepath.Join(dir, "res.jsonl")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-scale", "0.02", "-id", "Fig 3",
+		"-json", jsonPath, "-resources", resPath, "-widths", "1,2", "-deterministic",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("bench exited %d: %s", code, stderr.String())
+	}
+	l, err := bpart.ReadResourceLogFile(resPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records) == 0 {
+		t.Fatal("resource log empty")
+	}
+	widths := map[int]bool{}
+	experiments := 0
+	for _, r := range l.Records {
+		switch r.Phase {
+		case "scaling.replay":
+			if w, ok := r.Int("workers"); ok {
+				widths[w] = true
+			}
+		case "bench.experiment":
+			experiments++
+		}
+	}
+	if !widths[1] || !widths[2] || len(widths) != 2 {
+		t.Fatalf("scaling widths recorded: %v, want {1,2}", widths)
+	}
+	if experiments == 0 {
+		t.Fatal("no bench.experiment records")
+	}
+	var art struct {
+		Resources []struct {
+			Scheme   string  `json:"scheme"`
+			Workers  int     `json:"workers"`
+			WallUS   float64 `json:"wall_us"`
+			Verified int     `json:"verified"`
+		} `json:"resources"`
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Resources) != 6 { // 3 schemes × 2 widths
+		t.Fatalf("resources section has %d rows, want 6", len(art.Resources))
+	}
+	for _, r := range art.Resources {
+		if r.WallUS != 0 {
+			t.Fatalf("wall clock survived -deterministic: %+v", r)
+		}
+		if r.Verified <= 0 {
+			t.Fatalf("row %+v lost its verification count", r)
+		}
+	}
+}
+
+func TestBenchBadWidths(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-widths", "1,zero"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad -widths exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-widths") {
+		t.Fatalf("no diagnostic: %s", stderr.String())
 	}
 }

@@ -21,7 +21,11 @@
 // streaming quality timeline and the combining audit tree — feed it to
 // cmd/partstat); -metrics prints the counter/gauge registry in Prometheus
 // text format on exit; -pprof ADDR serves /debug/pprof/*, /metrics and
-// /debug/vars on ADDR for the run's duration.
+// /debug/vars on ADDR for the run's duration; -resources out.jsonl writes
+// one runtime resource record per phase (partition streams, BPart layers,
+// BSP supersteps — feed it to `tracestat resources`). All observability is
+// observation-only: the partition and every simulated result are
+// byte-identical with or without it.
 //
 // Fault injection: -fault sched.json loads a JSON fault schedule (see
 // FaultSpec; cmd/bench shares the format) and injects it into the engine
@@ -60,10 +64,11 @@ func main() {
 		auditPath = flag.String("audit", "", "write the partition decision audit log (JSONL, see cmd/partstat) to this file")
 		metrics   = flag.Bool("metrics", false, "print telemetry counters (Prometheus text format) on exit")
 		pprofAddr = flag.String("pprof", "", "serve /debug/pprof, /metrics and /debug/vars on this address (e.g. localhost:6060)")
+		resPath   = flag.String("resources", "", "write runtime resource records (JSONL, see `tracestat resources`) to this file")
 	)
 	flag.Parse()
 
-	tel, err := setupTelemetry(*tracePath, *metrics, *pprofAddr)
+	tel, err := setupTelemetry(*tracePath, *metrics, *pprofAddr, *resPath)
 	if err != nil {
 		fatal(err)
 	}
@@ -102,7 +107,7 @@ func main() {
 		for _, p := range []bpart.VertexCutPartitioner{
 			bpart.NewRandomEdgeCut(), bpart.NewDBH(), bpart.NewGreedyCut(), bpart.NewHDRF(),
 		} {
-			bpart.Instrument(p, tel.tracer, tel.reg)
+			tel.instrument(p)
 			ea, err := p.Partition(g, *k)
 			if err != nil {
 				fatal(err)
@@ -134,7 +139,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	bpart.Instrument(p, tel.tracer, tel.reg)
+	tel.instrument(p)
 	if *auditPath != "" {
 		f, err := os.Create(*auditPath)
 		if err != nil {
@@ -215,13 +220,13 @@ func runFaulted(g *bpart.Graph, a *bpart.Assignment, spec *bpart.FaultSpec, k in
 	if err != nil {
 		return err
 	}
-	bpart.Instrument(e, tel.tracer, tel.reg)
+	tel.instrument(e)
 	proj := spec.ForMachines(k)
 	ctl, err := bpart.EnableFaults(e, proj)
 	if err != nil {
 		return err
 	}
-	bpart.Instrument(ctl, tel.tracer, tel.reg)
+	tel.instrument(ctl)
 	res, err := e.PageRank(10, 0.85)
 	if err != nil {
 		return err
@@ -248,14 +253,26 @@ type telemetryState struct {
 	reg       *bpart.Metrics
 	jsonl     *bpart.JSONLTracer
 	traceFile *os.File
+	probe     *bpart.ResourceProbe
+	resFile   *os.File
+	resPath   string
 	metrics   bool
 }
 
-// setupTelemetry wires -trace, -metrics and -pprof. The registry exists
-// whenever any of the three is requested, so the pprof endpoint and the
-// exit dump see the same counters.
-func setupTelemetry(tracePath string, metrics bool, pprofAddr string) (*telemetryState, error) {
-	t := &telemetryState{metrics: metrics}
+// instrument attaches everything the flags requested to one component:
+// tracer + metrics, and the resource probe when -resources is set.
+func (t *telemetryState) instrument(component any) {
+	bpart.Instrument(component, t.tracer, t.reg)
+	if t.probe != nil {
+		bpart.InstrumentResources(component, t.probe)
+	}
+}
+
+// setupTelemetry wires -trace, -metrics, -pprof and -resources. The
+// registry exists whenever any of the first three is requested, so the
+// pprof endpoint and the exit dump see the same counters.
+func setupTelemetry(tracePath string, metrics bool, pprofAddr, resPath string) (*telemetryState, error) {
+	t := &telemetryState{metrics: metrics, resPath: resPath}
 	if tracePath != "" || metrics || pprofAddr != "" {
 		t.reg = bpart.NewMetrics()
 	}
@@ -267,6 +284,14 @@ func setupTelemetry(tracePath string, metrics bool, pprofAddr string) (*telemetr
 		t.traceFile = f
 		t.jsonl = bpart.NewJSONLTrace(f)
 		t.tracer = t.jsonl
+	}
+	if resPath != "" {
+		f, err := os.Create(resPath)
+		if err != nil {
+			return nil, err
+		}
+		t.resFile = f
+		t.probe = bpart.NewResourceProbe(f)
 	}
 	if pprofAddr != "" {
 		ln := pprofAddr
@@ -288,6 +313,13 @@ func (t *telemetryState) finish() {
 		}
 		t.traceFile.Close()
 	}
+	if t.probe != nil {
+		if err := t.probe.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bpart: resources flush:", err)
+		}
+		t.resFile.Close()
+		fmt.Printf("resource log written to %s\n", t.resPath)
+	}
 	if t.metrics && t.reg != nil {
 		fmt.Println("--- metrics ---")
 		if err := t.reg.WritePrometheus(os.Stdout); err != nil {
@@ -305,7 +337,7 @@ func writeWalkTimeline(path string, g *bpart.Graph, a *bpart.Assignment, faults 
 	if err != nil {
 		return err
 	}
-	bpart.Instrument(eng, tel.tracer, tel.reg)
+	tel.instrument(eng)
 	var policy bpart.FaultPolicy
 	if faults != nil {
 		proj := faults.ForMachines(k)
@@ -313,7 +345,7 @@ func writeWalkTimeline(path string, g *bpart.Graph, a *bpart.Assignment, faults 
 		if err != nil {
 			return err
 		}
-		bpart.Instrument(ctl, tel.tracer, tel.reg)
+		tel.instrument(ctl)
 		policy = proj.Policy
 	}
 	res, err := eng.Run(bpart.WalkConfig{Kind: bpart.SimpleWalk, WalkersPerVertex: 5, Steps: 4, Seed: 1})
@@ -350,7 +382,7 @@ func run(g *bpart.Graph, scheme string, k int, tel *telemetryState) (bpart.Repor
 	if err != nil {
 		return bpart.Report{}, 0, err
 	}
-	bpart.Instrument(p, tel.tracer, tel.reg)
+	tel.instrument(p)
 	start := time.Now()
 	a, err := p.Partition(g, k)
 	if err != nil {

@@ -7,6 +7,7 @@
 //	tracestat stragglers trace.jsonl
 //	tracestat critpath trace.jsonl
 //	tracestat comm [-html out.html] [-audit audit.jsonl] [-supersteps n] [-matrix n] trace.jsonl
+//	tracestat resources [-html out.html] [-phases n] resources.jsonl
 //	tracestat diff [-fail-above pct] baseline.jsonl candidate.jsonl
 //
 // report prints the full analysis: span aggregates, the reconstructed
@@ -16,10 +17,13 @@
 // section. comm analyzes the src→dst comm matrices of a matrix-capture run
 // (Cluster.SetCommMatrix): the summed matrix, in/out skew, hot-pair
 // attribution and per-superstep evolution, with -audit adding the
-// predicted-vs-observed cut reconciliation and -html a heatmap page. diff
-// compares two traces and, with -fail-above, exits 1 when any gated
-// simulation metric regressed by more than the given percent — the CI
-// regression gate.
+// predicted-vs-observed cut reconciliation and -html a heatmap page.
+// resources analyzes the resource records of a probed run (bench
+// -resources): phase self-time breakdown, alloc/GC attribution and the
+// scaling probe's speedup curves, with -html a chart page. diff compares
+// two traces and, with -fail-above, exits 1 when any gated simulation
+// metric regressed by more than the given percent — the CI regression
+// gate.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 
 	"bpart/internal/commview"
 	"bpart/internal/partaudit"
+	"bpart/internal/resview"
 	"bpart/internal/traceview"
 )
 
@@ -43,6 +48,7 @@ func usage(stderr io.Writer) int {
   tracestat stragglers trace.jsonl
   tracestat critpath trace.jsonl
   tracestat comm [-html out.html] [-audit audit.jsonl] [-supersteps n] [-matrix n] trace.jsonl
+  tracestat resources [-html out.html] [-phases n] resources.jsonl
   tracestat diff [-fail-above pct] baseline.jsonl candidate.jsonl`)
 	return 2
 }
@@ -61,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdRuns(args[1:], stdout, stderr, "critpath")
 	case "comm":
 		return cmdComm(args[1:], stdout, stderr)
+	case "resources":
+		return cmdResources(args[1:], stdout, stderr)
 	case "diff":
 		return cmdDiff(args[1:], stdout, stderr)
 	default:
@@ -191,6 +199,41 @@ func cmdComm(args []string, stdout, stderr io.Writer) int {
 			return fail(stderr, err)
 		}
 		if err := commview.WriteHTML(f, log, "bpart comm topology"); err != nil {
+			f.Close()
+			return fail(stderr, err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "\nwrote %s\n", *htmlPath)
+	}
+	return 0
+}
+
+func cmdResources(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("resources", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	htmlPath := fs.String("html", "", "also write a self-contained chart page to this file")
+	maxPhases := fs.Int("phases", 0, "max phases in the breakdown tables (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		return usage(stderr)
+	}
+	log, err := resview.ReadFile(fs.Arg(0))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if err := resview.WriteReport(stdout, log, resview.ReportOptions{MaxPhases: *maxPhases}); err != nil {
+		return fail(stderr, err)
+	}
+	if *htmlPath != "" {
+		f, err := os.Create(*htmlPath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := resview.WriteHTML(f, log, "bpart runtime resources"); err != nil {
 			f.Close()
 			return fail(stderr, err)
 		}

@@ -258,3 +258,54 @@ func TestTruncatedTraceStillReports(t *testing.T) {
 		t.Fatalf("no truncation warning:\n%s", out)
 	}
 }
+
+const sampleResources = `{"v":1,"type":"resource","seq":0,"kind":"span","phase":"partition.stream","wall_us":2500,"allocs":100,"alloc_bytes":8192,"heap_bytes":4096,"gc_cycles":1,"gc_pause_us":10,"goroutines":2,"attrs":{"k":8}}
+{"v":1,"type":"resource","seq":1,"kind":"span","phase":"scaling.replay","wall_us":1000,"allocs":10,"alloc_bytes":512,"heap_bytes":4096,"gc_cycles":0,"gc_pause_us":0,"goroutines":3,"attrs":{"scheme":"Fennel","workers":1}}
+{"v":1,"type":"resource","seq":2,"kind":"span","phase":"scaling.replay","wall_us":600,"allocs":10,"alloc_bytes":512,"heap_bytes":4096,"gc_cycles":0,"gc_pause_us":0,"goroutines":4,"attrs":{"scheme":"Fennel","workers":2}}
+`
+
+func TestResourcesSubcommand(t *testing.T) {
+	path := writeTrace(t, "res.jsonl", sampleResources)
+	code, out, errb := runCLI(t, "resources", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"RESOURCES:", "partition.stream", "allocation / GC attribution", "scaling probe", "Fennel", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("resources output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResourcesHTMLFlag(t *testing.T) {
+	path := writeTrace(t, "res.jsonl", sampleResources)
+	htmlPath := filepath.Join(t.TempDir(), "res.html")
+	code, out, errb := runCLI(t, "resources", "-html", htmlPath, path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, htmlPath) {
+		t.Errorf("stdout does not mention the HTML path:\n%s", out)
+	}
+	data, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") || !strings.Contains(string(data), "Fennel") {
+		t.Errorf("HTML page missing chart content")
+	}
+}
+
+func TestResourcesCorruptFails(t *testing.T) {
+	path := writeTrace(t, "garbage.jsonl", "not a resource log\n")
+	code, _, stderr := runCLI(t, "resources", path)
+	if code != 1 {
+		t.Errorf("resources on garbage exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "line 1") {
+		t.Errorf("diagnostic does not locate the damage: %q", stderr)
+	}
+	if code, _, _ := runCLI(t, "resources"); code != 2 {
+		t.Errorf("resources without a file exit = %d, want 2", code)
+	}
+}

@@ -1,6 +1,6 @@
 // Package errio forbids discarding writer and flush errors in the I/O
 // packages (internal/gio, internal/telemetry, internal/cluster,
-// internal/partaudit, internal/commview).
+// internal/partaudit, internal/commview, internal/resview).
 //
 // Graph dumps, assignment files, JSONL traces and CSV timelines are the
 // artifacts experiments are reproduced from; a full disk or closed pipe
@@ -23,7 +23,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "errio",
 	Doc: "forbid discarded writer/flush errors in I/O packages\n\n" +
 		"In internal/gio, internal/telemetry, internal/cluster, " +
-		"internal/partaudit and internal/commview, errors from " +
+		"internal/partaudit, internal/commview and internal/resview, errors from " +
 		"Write*/Flush/Sync/fmt.Fprint* calls " +
 		"must be checked; bytes.Buffer, strings.Builder and " +
 		"http.ResponseWriter sinks are exempt.",
@@ -33,7 +33,7 @@ var Analyzer = &analysis.Analyzer{
 // scoped reports whether the package writes artifacts worth protecting.
 // Testdata fixtures mirror the layout (testdata/errio/gio).
 func scoped(path string) bool {
-	for _, s := range []string{"/gio", "/telemetry", "/cluster", "/partaudit", "/commview"} {
+	for _, s := range []string{"/gio", "/telemetry", "/cluster", "/partaudit", "/commview", "/resview"} {
 		if strings.Contains(path, s) {
 			return true
 		}

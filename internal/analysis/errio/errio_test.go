@@ -19,6 +19,10 @@ func TestSeededViolationsCommview(t *testing.T) {
 	analysistest.Run(t, "../testdata/errio/commview", errio.Analyzer)
 }
 
+func TestSeededViolationsResview(t *testing.T) {
+	analysistest.Run(t, "../testdata/errio/resview", errio.Analyzer)
+}
+
 func TestOutOfScopePackagesAreClean(t *testing.T) {
 	analysistest.Run(t, "../testdata/errio/other", errio.Analyzer)
 }

@@ -14,7 +14,10 @@
 // measurement that belongs in reports (real partitioner runtimes, for
 // example) routes through internal/telemetry — the designated
 // observability boundary, exempt by construction — via
-// telemetry.NewStopwatch. Test files are exempt: -timeout handling and
+// telemetry.NewStopwatch; runtime resource capture likewise lives in the
+// exempt internal/resview, which the deterministic packages reach only
+// through the telemetry.PhaseProbe interface. Test files are exempt:
+// -timeout handling and
 // benchmark plumbing there are the test harness's business. Anything else
 // needs a bpartlint:ignore noclock waiver and a reason.
 package noclock

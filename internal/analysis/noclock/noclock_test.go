@@ -15,6 +15,13 @@ func TestOutOfScopePackageIsExempt(t *testing.T) {
 	analysistest.Run(t, "../testdata/noclock/other", noclock.Analyzer)
 }
 
+// TestResviewIsExempt pins the observability boundary: resview is the
+// package that reads the clock on the deterministic packages' behalf
+// (through telemetry.PhaseProbe), so it must stay outside noclock's scope.
+func TestResviewIsExempt(t *testing.T) {
+	analysistest.Run(t, "../testdata/noclock/resview", noclock.Analyzer)
+}
+
 // TestSegmentNotSubstring pins scope matching to whole path segments: a
 // package named clustering shares a prefix with the deterministic package
 // cluster and must stay exempt.

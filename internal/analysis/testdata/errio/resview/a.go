@@ -1,0 +1,41 @@
+// Package resview seeds errio violations in the resource-probe idiom; its
+// path ends in /resview so it is in the analyzer's I/O scope, like
+// bpart/internal/resview. A resource log that silently truncates on a full
+// disk turns a real measurement into a partial one with no warning — the
+// probe's whole contract is that write failures are sticky and surfaced.
+package resview
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// EmitUnchecked streams resource records without checking the sink — a
+// crashed flush loses the tail of the measurement silently.
+func EmitUnchecked(w *bufio.Writer, phase string, wallUS float64) {
+	fmt.Fprintf(w, `{"phase":%q,"wall_us":%v}`+"\n", phase, wallUS) // want `error from Fprintf discarded`
+	w.Flush()                                                       // want `error from Flush discarded`
+}
+
+// CloseUnchecked blanks the final flush — the exact failure Close exists
+// to surface.
+func CloseUnchecked(w *bufio.Writer, sink io.Writer) {
+	_ = w.Flush()                        // want `error from Flush blanked with _`
+	_, _ = io.WriteString(sink, "EOF\n") // want `error from WriteString blanked with _`
+}
+
+// EmitSticky is the discipline the real probe uses: the first write or
+// flush failure is recorded and every later record is a no-op against it.
+func EmitSticky(w *bufio.Writer, phase string, wallUS float64, werr *error) {
+	if *werr != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(w, `{"phase":%q,"wall_us":%v}`+"\n", phase, wallUS); err != nil {
+		*werr = err
+		return
+	}
+	if err := w.Flush(); err != nil {
+		*werr = err
+	}
+}

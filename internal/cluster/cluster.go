@@ -80,9 +80,10 @@ type Cluster struct {
 	dead        []bool // machine -> permanently failed
 	disrupter   Disrupter
 
-	tr   telemetry.Tracer
-	reg  *telemetry.Registry
-	iter int // supersteps finished, for span numbering
+	tr    telemetry.Tracer
+	reg   *telemetry.Registry
+	probe telemetry.PhaseProbe
+	iter  int // supersteps finished, for span numbering
 
 	// commMatrix enables per-superstep src→dst message matrix capture
 	// (Counters.Pairs). Off by default: the K×K matrix costs one write per
@@ -152,6 +153,14 @@ func (c *Cluster) SetTelemetry(tr telemetry.Tracer, reg *telemetry.Registry) {
 	c.tr = telemetry.Safe(tr)
 	c.reg = reg
 }
+
+// SetResourceProbe attaches (or with nil detaches) a resource probe: every
+// observed superstep or recovery phase then emits one "cluster.superstep"
+// lap covering the real host time and alloc/GC activity since the previous
+// superstep (the first lap measures from probe creation, so it includes
+// setup). Simulated time in the traces is untouched — the probe reports
+// what the simulation itself costs to run, not what it models.
+func (c *Cluster) SetResourceProbe(p telemetry.PhaseProbe) { c.probe = p }
 
 // SetCommMatrix enables (or disables) per-superstep src→dst message matrix
 // capture. When on, NewCounters allocates Counters.Pairs and the engines
@@ -437,6 +446,13 @@ func (c *Cluster) ChargePhaseWork(kind string, busy []float64, work *Counters) (
 func (c *Cluster) observe(st *IterationStats, phase string) {
 	iter := c.iter
 	c.iter++
+	if c.probe != nil {
+		attrs := []telemetry.Attr{telemetry.Int("iter", iter)}
+		if phase != "" {
+			attrs = append(attrs, telemetry.String("kind", phase))
+		}
+		c.probe.Lap("cluster.superstep", attrs...)
+	}
 	if c.reg != nil {
 		var msgs int64
 		for _, x := range st.Work.Messages {

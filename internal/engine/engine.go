@@ -116,6 +116,12 @@ func (e *Engine) SetTelemetry(tr telemetry.Tracer, reg *telemetry.Registry) {
 	e.cl.SetTelemetry(tr, reg)
 }
 
+// SetResourceProbe implements telemetry.Probeable by forwarding to the
+// underlying cluster: every BSP superstep then emits one
+// "cluster.superstep" resource lap (real host time and alloc/GC activity,
+// not simulated time).
+func (e *Engine) SetResourceProbe(p telemetry.PhaseProbe) { e.cl.SetResourceProbe(p) }
+
 func (e *Engine) transpose() *graph.Graph {
 	e.trMu.Lock()
 	defer e.trMu.Unlock()

@@ -82,6 +82,22 @@ type BenchComm struct {
 	HotShare float64 `json:"hot_share"`
 }
 
+// BenchResource is one (scheme, workers) point of the artifact's optional
+// resources section (bench -resources): the scaling probe's measured wall
+// time with its derived speedup and efficiency, plus the number of
+// placements the parallel replay re-derived and verified identical to the
+// sequential stream. Wall/speedup/efficiency are host wall-clock — the
+// artifact's only nondeterministic content besides experiment wall seconds
+// — and StripWallClock zeroes them; Verified is deterministic.
+type BenchResource struct {
+	Scheme     string  `json:"scheme"`
+	Workers    int     `json:"workers"`
+	WallUS     float64 `json:"wall_us"`
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+	Verified   int     `json:"verified"`
+}
+
 // BenchArtifact is the machine-readable benchmark record cmd/bench writes
 // (BENCH_bpart.json). Fields marshal in declaration order, so the output
 // is byte-deterministic given identical contents. Recovery is additive
@@ -95,6 +111,7 @@ type BenchArtifact struct {
 	Partitions    []BenchPartition             `json:"partitions"`
 	Recovery      []BenchRecovery              `json:"recovery,omitempty"`
 	Comm          []BenchComm                  `json:"comm"`
+	Resources     []BenchResource              `json:"resources,omitempty"`
 	Histograms    []telemetry.HistogramSummary `json:"histograms"`
 }
 
@@ -255,6 +272,11 @@ func (a *BenchArtifact) collectRecovery(d gen.Dataset, opt Options) error {
 func (a *BenchArtifact) StripWallClock() {
 	for i := range a.Experiments {
 		a.Experiments[i].WallSeconds = 0
+	}
+	for i := range a.Resources {
+		a.Resources[i].WallUS = 0
+		a.Resources[i].Speedup = 0
+		a.Resources[i].Efficiency = 0
 	}
 }
 

@@ -52,6 +52,16 @@ type Options struct {
 	// machine count. The Fault Recovery experiment and the BENCH
 	// artifact's recovery section also honor it.
 	Faults *fault.Spec
+	// Probe, when non-nil, receives resource phases from everything a run
+	// builds (bench -resources): one "cluster.superstep" lap per BSP
+	// iteration of every engine, plus the scaling probe's per-replay
+	// spans. Observation-only — results are identical with or without it.
+	Probe telemetry.PhaseProbe
+	// Widths is the scaling probe's worker-count ladder. nil selects the
+	// host-independent default {1, 2, 4}; cmd/bench fills the host's
+	// power-of-two ladder up to NumCPU. Every width must be >= 1, and the
+	// speedup/efficiency columns need width 1 as their baseline.
+	Widths []int
 }
 
 func (o Options) scale() float64 {
@@ -162,6 +172,7 @@ func All() []Experiment {
 		{"Ablation Hetero", AblationHetero},
 		{"Fault Recovery", FaultRecovery},
 		{"Comm Matrix", CommMatrix},
+		{"Scaling Probe", ScalingProbe},
 	}
 }
 
@@ -289,6 +300,9 @@ func walkEngine(d gen.Dataset, opt Options, scheme string, k int) (*walk.Engine,
 	if opt.Tracer != nil || opt.Metrics != nil {
 		e.SetTelemetry(opt.Tracer, opt.Metrics)
 	}
+	if opt.Probe != nil {
+		e.SetResourceProbe(opt.Probe)
+	}
 	if err := attachFaults(opt, g, e, k); err != nil {
 		return nil, err
 	}
@@ -341,6 +355,9 @@ func iterEngine(d gen.Dataset, opt Options, scheme string, k int) (*engine.Engin
 	}
 	if opt.Tracer != nil || opt.Metrics != nil {
 		e.SetTelemetry(opt.Tracer, opt.Metrics)
+	}
+	if opt.Probe != nil {
+		e.SetResourceProbe(opt.Probe)
 	}
 	if err := attachFaults(opt, g, e, k); err != nil {
 		return nil, err

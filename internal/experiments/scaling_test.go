@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+
+	"bpart/internal/resview"
+)
+
+func TestRunScalingProbeVerifiesEveryScheme(t *testing.T) {
+	opt := Options{Scale: testScale, Widths: []int{1, 2}}
+	ms, err := RunScalingProbe(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3*2 { // schemes × widths
+		t.Fatalf("got %d measurements, want 6", len(ms))
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		seen[m.Scheme] = true
+		if m.Verified <= 0 {
+			t.Fatalf("%s at %d workers verified %d placements", m.Scheme, m.Workers, m.Verified)
+		}
+		if m.WallUS <= 0 {
+			t.Fatalf("%s at %d workers: non-positive wall %v", m.Scheme, m.Workers, m.WallUS)
+		}
+	}
+	for _, s := range []string{"BPart", "Fennel", "LDG"} {
+		if !seen[s] {
+			t.Errorf("scheme %s missing from probe", s)
+		}
+	}
+}
+
+func TestRunScalingProbeEmitsResourceRecords(t *testing.T) {
+	var buf bytes.Buffer
+	probe := resview.NewProbe(&buf)
+	opt := Options{Scale: testScale, Widths: []int{1, 2}, Probe: probe}
+	if _, err := RunScalingProbe(opt); err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := resview.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One span per scheme × width × repetition.
+	if want := 3 * 2 * scalingReps; len(l.Records) != want {
+		t.Fatalf("got %d resource records, want %d", len(l.Records), want)
+	}
+	curves := resview.Curves(l.Records)
+	if len(curves) != 3 {
+		t.Fatalf("got %d curves, want 3", len(curves))
+	}
+	for _, c := range curves {
+		if len(c.Points) != 2 {
+			t.Fatalf("%s: %d points, want 2", c.Scheme, len(c.Points))
+		}
+		if c.Points[0].Workers != 1 || c.Points[0].Speedup != 1 {
+			t.Fatalf("%s: bad base point %+v", c.Scheme, c.Points[0])
+		}
+	}
+	for _, r := range l.Records {
+		if r.Phase != resview.ScalingPhase {
+			t.Fatalf("unexpected phase %q", r.Phase)
+		}
+		if v, ok := r.Int("verified"); !ok || v <= 0 {
+			t.Fatalf("record missing verified attr: %+v", r)
+		}
+	}
+}
+
+func TestRunScalingProbeRejectsBadWidth(t *testing.T) {
+	if _, err := RunScalingProbe(Options{Scale: testScale, Widths: []int{0}}); err == nil {
+		t.Fatal("accepted width 0")
+	}
+}
+
+func TestScalingProbeTable(t *testing.T) {
+	tbl, err := ScalingProbe(Options{Scale: testScale, Widths: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "Scaling Probe" {
+		t.Fatalf("table ID %q", tbl.ID)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatalf("ragged row %v", row)
+		}
+		w, err := strconv.Atoi(row[1])
+		if err != nil || w < 1 {
+			t.Fatalf("row %v: bad workers", row)
+		}
+		if w == 1 {
+			if row[3] != "1.00" || row[4] != "1.00" {
+				t.Fatalf("row %v: 1-worker speedup/efficiency not 1.00", row)
+			}
+		}
+		if n, err := strconv.Atoi(row[5]); err != nil || n <= 0 {
+			t.Fatalf("row %v: bad verified count", row)
+		}
+	}
+}
+
+func TestScalingProbeRegistered(t *testing.T) {
+	for _, e := range All() {
+		if e.ID == "Scaling Probe" {
+			return
+		}
+	}
+	t.Fatal("Scaling Probe not in All()")
+}
+
+func TestCollectResourcesAndStrip(t *testing.T) {
+	opt := Options{Scale: testScale, Widths: []int{1, 2}}
+	a := NewBenchArtifact(opt)
+	if err := a.CollectResources(opt); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Resources) != 6 {
+		t.Fatalf("got %d resource rows, want 6", len(a.Resources))
+	}
+	for _, r := range a.Resources {
+		if r.WallUS <= 0 || r.Verified <= 0 {
+			t.Fatalf("row %+v not measured", r)
+		}
+		if r.Workers == 1 && r.Speedup != 1 {
+			t.Fatalf("row %+v: base speedup not 1", r)
+		}
+	}
+	a.StripWallClock()
+	for _, r := range a.Resources {
+		if r.WallUS != 0 || r.Speedup != 0 || r.Efficiency != 0 {
+			t.Fatalf("strip kept host-dependent fields: %+v", r)
+		}
+		if r.Verified <= 0 {
+			t.Fatalf("strip destroyed the verification count: %+v", r)
+		}
+	}
+}
+
+func TestWidthsDefaultHostIndependent(t *testing.T) {
+	got := (Options{}).widths()
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("default widths %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("default widths %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package partition
+
+import (
+	"testing"
+
+	"bpart/internal/telemetry"
+)
+
+// BenchmarkStream20k is the probe-overhead baseline: the streaming loop
+// with no probe attached (the default everywhere).
+func BenchmarkStream20k(b *testing.B) {
+	g := twitterish(b)
+	opt := StreamOptions{K: 8, C: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Stream(g, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStream20kNopProbe is the same loop with a no-op probe attached —
+// the worst case for a disabled-but-wired hook site.
+func BenchmarkStream20kNopProbe(b *testing.B) {
+	g := twitterish(b)
+	opt := StreamOptions{K: 8, C: 1, Probe: telemetry.NopProbe()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Stream(g, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestIdleProbeOverheadGate is the <5% overhead gate for the resource-probe
+// hook sites: the hooks fire per phase (one BeginPhase/EndPhase pair per
+// stream), never per vertex, so an idle probe must be indistinguishable
+// from no probe. Measured as best-of-N to shed scheduler noise; skipped in
+// -short mode where a timing assertion is meaningless.
+func TestIdleProbeOverheadGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short mode")
+	}
+	g := twitterish(t)
+	measure := func(opt StreamOptions) float64 {
+		const reps = 5
+		best := 0.0
+		for r := 0; r < reps; r++ {
+			sw := telemetry.NewStopwatch()
+			for i := 0; i < 3; i++ {
+				if _, err := Stream(g, opt); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if s := sw.Seconds(); r == 0 || s < best {
+				best = s
+			}
+		}
+		return best
+	}
+	base := measure(StreamOptions{K: 8, C: 1})
+	probed := measure(StreamOptions{K: 8, C: 1, Probe: telemetry.NopProbe()})
+	overhead := probed/base - 1
+	t.Logf("idle-probe overhead: base %.2fms, probed %.2fms, overhead %.2f%%",
+		base*1e3, probed*1e3, overhead*100)
+	if overhead > 0.05 {
+		t.Fatalf("idle probe overhead %.2f%% exceeds the 5%% gate", overhead*100)
+	}
+}

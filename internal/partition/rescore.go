@@ -1,0 +1,313 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"bpart/internal/graph"
+	"bpart/internal/metrics"
+)
+
+// This file is the scaling-probe's compute kernel: a parallel re-derivation
+// of a finished streaming run's placement decisions.
+//
+// The streaming loop itself is inherently sequential — every placement
+// mutates the part weights the next vertex's score depends on — so the
+// embarrassingly-parallel piece is the per-candidate scoring: given the
+// state a vertex was scored under, re-deriving its placement is independent
+// of every other vertex. ScoreReplay exploits that by splitting the stream
+// into contiguous chunks, one per worker; each worker reconstructs the
+// exact part-state at its chunk start by replaying the recorded placements
+// (three integer adds and one float add per vertex — negligible next to
+// scoring, which scans the adjacency and evaluates K candidates), then
+// re-scores every vertex of its chunk with the full streaming arithmetic
+// and verifies the argmax equals the recorded placement. A divergence is an
+// error, so a completed replay is a proof that the parallel scoring is
+// bit-identical to the sequential stream — the property ROADMAP item 1's
+// real parallelism must preserve, measured here before any partitioner is
+// parallelized for real.
+//
+// Replay does no timing of its own: this package is inside the noclock
+// determinism boundary, so the scaling harness (internal/experiments)
+// brackets these calls with telemetry.Stopwatch and the resource probe.
+
+// ScoreReplay re-derives every placement of a finished Stream run across
+// `workers` goroutines and verifies each against the recorded assignment.
+//
+// g and opt must be exactly the graph and options of the original Stream
+// call (Tracer/Metrics/Audit are ignored), and parts must be the
+// StreamResult.Parts it returned. The return value is the number of
+// placements re-derived and matched (= the streamed vertex count); any
+// divergence — a scored part differing from the recorded one, or a
+// recorded part out of range — is an error naming the first offending
+// stream position, chunk order, deterministically.
+func ScoreReplay(g *graph.Graph, opt StreamOptions, parts []int, workers int) (int, error) {
+	if err := checkArgs(g, opt.K); err != nil {
+		return 0, err
+	}
+	if opt.C < 0 || opt.C > 1 {
+		return 0, fmt.Errorf("partition: C = %v, want in [0,1]", opt.C)
+	}
+	if workers < 1 {
+		return 0, fmt.Errorf("partition: replay with %d workers, want >= 1", workers)
+	}
+	if len(parts) != g.NumVertices() {
+		return 0, fmt.Errorf("partition: replay: %d recorded parts for %d vertices", len(parts), g.NumVertices())
+	}
+	if opt.Gamma <= 0 {
+		opt.Gamma = 1.5
+	}
+	if opt.Slack <= 0 {
+		opt.Slack = 1.1
+	}
+	stream := opt.Vertices
+	if stream == nil {
+		stream = make([]graph.VertexID, g.NumVertices())
+		for v := range stream {
+			stream[v] = graph.VertexID(v)
+		}
+	}
+	ns := len(stream)
+	if ns == 0 {
+		return 0, nil
+	}
+	var ms int
+	for _, v := range stream {
+		ms += g.OutDegree(v)
+	}
+	avgDeg := float64(ms) / float64(ns)
+	if metrics.IsZero(avgDeg) {
+		avgDeg = 1
+	}
+	alpha := opt.Alpha
+	if alpha <= 0 {
+		alpha = float64(ms) * math.Pow(float64(opt.K), opt.Gamma-1) / math.Pow(float64(ns), opt.Gamma)
+		if alpha <= 0 {
+			alpha = 1
+		}
+	}
+	capW := opt.Slack * float64(ns) / float64(opt.K)
+	if opt.In != nil &&
+		(opt.In.NumVertices() != g.NumVertices() || opt.In.NumEdges() != g.NumEdges()) {
+		return 0, fmt.Errorf("partition: In graph shape %v does not match %v", opt.In, g)
+	}
+	// pos[v] is v's stream position, -1 outside the stream set: a neighbor
+	// contributed affinity at position i exactly when it was placed at an
+	// earlier position.
+	pos := make([]int, g.NumVertices())
+	for v := range pos {
+		pos[v] = -1
+	}
+	for i, v := range stream {
+		pos[v] = i
+	}
+	if workers > ns {
+		workers = ns
+	}
+	counts := make([]int, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		lo, hi := wk*ns/workers, (wk+1)*ns/workers
+		wg.Add(1)
+		go func(wk, lo, hi int) {
+			defer wg.Done()
+			counts[wk], errs[wk] = replayStreamChunk(g, &opt, parts, stream, pos, lo, hi, alpha, capW, avgDeg)
+		}(wk, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for wk := range errs {
+		if errs[wk] != nil {
+			return 0, errs[wk]
+		}
+		total += counts[wk]
+	}
+	return total, nil
+}
+
+// replayStreamChunk reconstructs the part-state at stream position lo by
+// replaying the recorded placements, then re-scores positions [lo, hi)
+// with Stream's exact arithmetic and verifies each argmax.
+func replayStreamChunk(g *graph.Graph, opt *StreamOptions, parts []int, stream []graph.VertexID, pos []int, lo, hi int, alpha, capW, avgDeg float64) (int, error) {
+	vCount := make([]int, opt.K)
+	eCount := make([]int, opt.K)
+	w := make([]float64, opt.K)
+	// Prefix replay: one recorded placement per vertex, accumulated in
+	// stream order so the float adds into w happen in the exact sequence
+	// the sequential run performed them — bit-identical state.
+	for i := 0; i < lo; i++ {
+		v := stream[i]
+		b := parts[v]
+		if b < 0 || b >= opt.K {
+			return 0, fmt.Errorf("partition: replay: stream position %d (vertex %d) recorded part %d, want [0,%d)", i, v, b, opt.K)
+		}
+		d := g.OutDegree(v)
+		vCount[b]++
+		eCount[b] += d
+		w[b] += opt.C + (1-opt.C)*float64(d)/avgDeg
+	}
+	affinity := make([]int, opt.K)
+	gammaPow := powFunc(opt.Gamma - 1)
+	for i := lo; i < hi; i++ {
+		v := stream[i]
+		for j := range affinity {
+			affinity[j] = 0
+		}
+		for _, u := range g.Neighbors(v) {
+			if q := pos[u]; q >= 0 && q < i {
+				affinity[parts[u]]++
+			}
+		}
+		if opt.In != nil {
+			for _, u := range opt.In.Neighbors(v) {
+				if q := pos[u]; q >= 0 && q < i {
+					affinity[parts[u]]++
+				}
+			}
+		}
+		d := g.OutDegree(v)
+		best, bestScore := -1, math.Inf(-1)
+		for j := 0; j < opt.K; j++ {
+			// Same cap gauntlet as Stream, same order.
+			if w[j] >= capW {
+				continue
+			}
+			if opt.CapV > 0 && vCount[j]+1 > opt.CapV {
+				continue
+			}
+			if opt.CapE > 0 && eCount[j]+d > opt.CapE {
+				continue
+			}
+			pen := alpha * opt.Gamma * gammaPow(w[j])
+			score := float64(affinity[j]) - pen
+			if score > bestScore {
+				best, bestScore = j, score
+			} else if metrics.TieEq(score, bestScore) && best >= 0 && w[j] < w[best] {
+				best = j
+			}
+		}
+		if best == -1 {
+			best = 0
+			for j := 1; j < opt.K; j++ {
+				if w[j] < w[best] {
+					best = j
+				}
+			}
+		}
+		if rec := parts[v]; best != rec {
+			return 0, fmt.Errorf("partition: replay diverged at stream position %d (vertex %d): scored part %d, recorded %d", i, v, best, rec)
+		}
+		vCount[best]++
+		eCount[best] += d
+		w[best] += opt.C + (1-opt.C)*float64(d)/avgDeg
+	}
+	return hi - lo, nil
+}
+
+// LDGReplay is ScoreReplay's counterpart for the LDG partitioner: it
+// re-derives every placement of a finished LDG.Partition run (slack as
+// configured there, stream order = vertex ID order) across `workers`
+// goroutines and verifies each against the recorded assignment. in must be
+// g's transpose (nil builds it, matching LDG.Partition's undirected
+// neighborhood); parts must be the returned Assignment.Parts.
+func LDGReplay(g *graph.Graph, in *graph.Graph, slack float64, parts []int, k, workers int) (int, error) {
+	if err := checkArgs(g, k); err != nil {
+		return 0, err
+	}
+	if workers < 1 {
+		return 0, fmt.Errorf("partition: replay with %d workers, want >= 1", workers)
+	}
+	n := g.NumVertices()
+	if len(parts) != n {
+		return 0, fmt.Errorf("partition: replay: %d recorded parts for %d vertices", len(parts), n)
+	}
+	if slack <= 0 {
+		slack = 1.1
+	}
+	capacity := slack * float64(n) / float64(k)
+	if capacity < 1 {
+		capacity = 1
+	}
+	if in == nil {
+		in = g.Transpose()
+	}
+	if in.NumVertices() != n || in.NumEdges() != g.NumEdges() {
+		return 0, fmt.Errorf("partition: In graph shape %v does not match %v", in, g)
+	}
+	if workers > n {
+		workers = n
+	}
+	counts := make([]int, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		lo, hi := wk*n/workers, (wk+1)*n/workers
+		wg.Add(1)
+		go func(wk, lo, hi int) {
+			defer wg.Done()
+			counts[wk], errs[wk] = replayLDGChunk(g, in, parts, lo, hi, k, capacity)
+		}(wk, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for wk := range errs {
+		if errs[wk] != nil {
+			return 0, errs[wk]
+		}
+		total += counts[wk]
+	}
+	return total, nil
+}
+
+func replayLDGChunk(g, in *graph.Graph, parts []int, lo, hi, k int, capacity float64) (int, error) {
+	size := make([]int, k)
+	for v := 0; v < lo; v++ {
+		b := parts[v]
+		if b < 0 || b >= k {
+			return 0, fmt.Errorf("partition: replay: vertex %d recorded part %d, want [0,%d)", v, b, k)
+		}
+		size[b]++
+	}
+	affinity := make([]int, k)
+	for v := lo; v < hi; v++ {
+		for j := range affinity {
+			affinity[j] = 0
+		}
+		count := func(ns []graph.VertexID) {
+			for _, u := range ns {
+				if int(u) < v {
+					affinity[parts[u]]++
+				}
+			}
+		}
+		count(g.Neighbors(graph.VertexID(v)))
+		count(in.Neighbors(graph.VertexID(v)))
+		best, bestScore := -1, -1.0
+		for j := 0; j < k; j++ {
+			if float64(size[j]) >= capacity {
+				continue
+			}
+			score := float64(affinity[j]) * (1 - float64(size[j])/capacity)
+			if score > bestScore {
+				best, bestScore = j, score
+			} else if metrics.TieEq(score, bestScore) && best >= 0 && size[j] < size[best] {
+				best, bestScore = j, score
+			}
+		}
+		if best == -1 {
+			best = 0
+			for j := 1; j < k; j++ {
+				if size[j] < size[best] {
+					best = j
+				}
+			}
+		}
+		if rec := parts[v]; best != rec {
+			return 0, fmt.Errorf("partition: replay diverged at vertex %d: scored part %d, recorded %d", v, best, rec)
+		}
+		size[best]++
+	}
+	return hi - lo, nil
+}

@@ -1,0 +1,140 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"bpart/internal/gen"
+	"bpart/internal/graph"
+)
+
+// replayWidths exercises the degenerate single chunk, an even split, an
+// uneven split and more chunks than fit cleanly.
+var replayWidths = []int{1, 2, 3, 8}
+
+func TestScoreReplayMatchesStream(t *testing.T) {
+	g := twitterish(t)
+	in := g.Transpose()
+	cases := []struct {
+		name string
+		opt  StreamOptions
+	}{
+		{"fennel", StreamOptions{K: 8, C: 1, In: in}},
+		{"weighted-caps", StreamOptions{
+			K: 16, C: 0.5, In: in,
+			CapV: int(1.1*float64(g.NumVertices())/16) + 1,
+			CapE: int(1.1*float64(g.NumEdges())/16) + 1,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Stream(g, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range replayWidths {
+				n, err := ScoreReplay(g, tc.opt, res.Parts, w)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if n != g.NumVertices() {
+					t.Fatalf("workers=%d: verified %d placements, want %d", w, n, g.NumVertices())
+				}
+			}
+		})
+	}
+}
+
+func TestScoreReplaySubsetStream(t *testing.T) {
+	g := twitterish(t)
+	// A reordered strict subset: pos[] must map stream order, not vertex
+	// ID order, and out-of-stream vertices must contribute no affinity.
+	var subset []graph.VertexID
+	for v := g.NumVertices() - 1; v >= 0; v -= 3 {
+		subset = append(subset, graph.VertexID(v))
+	}
+	opt := StreamOptions{K: 4, C: 0.7, Vertices: subset, In: g.Transpose()}
+	res, err := Stream(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range replayWidths {
+		n, err := ScoreReplay(g, opt, res.Parts, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if n != len(subset) {
+			t.Fatalf("workers=%d: verified %d placements, want %d", w, n, len(subset))
+		}
+	}
+}
+
+func TestScoreReplayDetectsTamperedParts(t *testing.T) {
+	g := gen.Ring(1000)
+	opt := StreamOptions{K: 4, C: 1}
+	res, err := Stream(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := make([]int, len(res.Parts))
+	copy(tampered, res.Parts)
+	tampered[500] = (tampered[500] + 1) % 4
+	if _, err := ScoreReplay(g, opt, tampered, 2); err == nil {
+		t.Fatal("replay accepted a tampered assignment")
+	} else if !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("want divergence error, got: %v", err)
+	}
+	tampered[500] = 99
+	if _, err := ScoreReplay(g, opt, tampered, 2); err == nil {
+		t.Fatal("replay accepted an out-of-range part")
+	}
+}
+
+func TestScoreReplayArgValidation(t *testing.T) {
+	g := gen.Ring(10)
+	opt := StreamOptions{K: 2, C: 1}
+	res, err := Stream(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScoreReplay(g, opt, res.Parts, 0); err == nil {
+		t.Error("accepted workers=0")
+	}
+	if _, err := ScoreReplay(g, opt, res.Parts[:5], 1); err == nil {
+		t.Error("accepted short parts slice")
+	}
+	if _, err := ScoreReplay(g, StreamOptions{K: 2, C: 2}, res.Parts, 1); err == nil {
+		t.Error("accepted C out of [0,1]")
+	}
+	// More workers than streamed vertices must clamp, not crash.
+	if n, err := ScoreReplay(g, opt, res.Parts, 64); err != nil || n != 10 {
+		t.Errorf("workers>ns: got (%d, %v), want (10, nil)", n, err)
+	}
+}
+
+func TestLDGReplayMatchesPartition(t *testing.T) {
+	g := twitterish(t)
+	a := mustPartition(t, &LDG{}, g, 8)
+	for _, w := range replayWidths {
+		n, err := LDGReplay(g, nil, 0, a.Parts, 8, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if n != g.NumVertices() {
+			t.Fatalf("workers=%d: verified %d placements, want %d", w, n, g.NumVertices())
+		}
+	}
+}
+
+func TestLDGReplayDetectsTamperedParts(t *testing.T) {
+	g := gen.Ring(600)
+	a := mustPartition(t, &LDG{}, g, 3)
+	tampered := make([]int, len(a.Parts))
+	copy(tampered, a.Parts)
+	tampered[300] = (tampered[300] + 1) % 3
+	if _, err := LDGReplay(g, nil, 0, tampered, 3, 2); err == nil {
+		t.Fatal("replay accepted a tampered assignment")
+	} else if !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("want divergence error, got: %v", err)
+	}
+}

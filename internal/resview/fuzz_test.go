@@ -1,0 +1,82 @@
+package resview
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead throws arbitrary byte streams at the resource-log reader. It
+// inherits traceview.Read's tolerance contract — only a torn final line may
+// be damaged, all-garbage input is a hard error — so it must never panic,
+// must parse the same bytes identically twice, and every accepted record
+// must satisfy the schema invariants the parser promises (known kind,
+// non-empty phase, non-negative wall clock).
+func FuzzRead(f *testing.F) {
+	valid := `{"v":1,"type":"resource","seq":0,"kind":"span","phase":"partition.stream","wall_us":123.5,"allocs":10,"alloc_bytes":4096,"heap_bytes":1000,"gc_cycles":1,"gc_pause_us":5,"goroutines":2,"attrs":{"k":8}}` + "\n"
+	lap := `{"v":1,"type":"resource","seq":1,"kind":"lap","phase":"cluster.superstep","wall_us":10,"allocs":0,"alloc_bytes":0,"heap_bytes":500,"gc_cycles":0,"gc_pause_us":0,"goroutines":3,"attrs":{"iter":0}}` + "\n"
+	scaling := `{"v":1,"type":"resource","seq":2,"kind":"span","phase":"scaling.replay","wall_us":50,"attrs":{"scheme":"Fennel","workers":2}}` + "\n"
+	f.Add([]byte(valid))
+	f.Add([]byte(valid + lap + scaling))
+	// Torn final line after a valid prefix: tolerated.
+	f.Add([]byte(valid + `{"v":1,"type":"resou`))
+	// Interior damage and all-garbage first lines: hard errors.
+	f.Add([]byte("garbage\n" + valid))
+	f.Add([]byte("garbage\n"))
+	// Schema violations: wrong version, wrong type, bad kind, negative wall.
+	f.Add([]byte(`{"v":2,"type":"resource","seq":0,"kind":"span","phase":"a","wall_us":1}` + "\n"))
+	f.Add([]byte(`{"v":1,"type":"span","seq":0,"kind":"span","phase":"a","wall_us":1}` + "\n"))
+	f.Add([]byte(`{"v":1,"type":"resource","seq":0,"kind":"x","phase":"a","wall_us":1}` + "\n"))
+	f.Add([]byte(`{"v":1,"type":"resource","seq":0,"kind":"span","phase":"a","wall_us":-1}` + "\n"))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xfe, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if l == nil {
+			t.Fatal("Read returned nil log with nil error")
+		}
+		l2, err2 := Read(bytes.NewReader(data))
+		if err2 != nil {
+			t.Fatalf("second Read of identical bytes failed: %v", err2)
+		}
+		if len(l2.Records) != len(l.Records) || l2.Truncated != l.Truncated {
+			t.Fatalf("non-deterministic parse: %d/%v then %d/%v",
+				len(l.Records), l.Truncated, len(l2.Records), l2.Truncated)
+		}
+		for i, r := range l.Records {
+			if r.Kind != KindSpan && r.Kind != KindLap {
+				t.Fatalf("record %d: unvalidated kind %q", i, r.Kind)
+			}
+			if r.Phase == "" {
+				t.Fatalf("record %d: empty phase escaped the parser", i)
+			}
+			if r.WallUS < 0 {
+				t.Fatalf("record %d: negative wall %v", i, r.WallUS)
+			}
+		}
+		// The derived views must hold up on anything Read accepts.
+		s := Summarize(l.Records)
+		if len(s) > len(l.Records) {
+			t.Fatalf("%d summaries from %d records", len(s), len(l.Records))
+		}
+		for _, c := range Curves(l.Records) {
+			for j := 1; j < len(c.Points); j++ {
+				if c.Points[j].Workers <= c.Points[j-1].Workers {
+					t.Fatalf("curve %s: unsorted or duplicate widths", c.Scheme)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, l, ReportOptions{}); err != nil {
+			t.Fatalf("report on accepted log: %v", err)
+		}
+		buf.Reset()
+		if err := WriteHTML(&buf, l, "fuzz"); err != nil {
+			t.Fatalf("html on accepted log: %v", err)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package resview
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReportOptions tunes the terminal report.
+type ReportOptions struct {
+	// MaxPhases caps the phase breakdown tables (0 = 16). The scaling
+	// section always covers every curve.
+	MaxPhases int
+}
+
+func (o ReportOptions) maxPhases() int {
+	if o.MaxPhases <= 0 {
+		return 16
+	}
+	return o.MaxPhases
+}
+
+// errWriter folds per-line error checks into one sticky error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err == nil {
+		_, e.err = fmt.Fprintf(e.w, format, args...)
+	}
+}
+
+// bar renders v/max as a fixed-width ASCII bar.
+func bar(v, max float64, width int) string {
+	if max <= 0 || v < 0 {
+		return strings.Repeat(".", width)
+	}
+	n := int(v/max*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// fmtUS renders microseconds at millisecond/second granularity.
+func fmtUS(us float64) string {
+	switch {
+	case us >= 1e6:
+		return fmt.Sprintf("%.2fs", us/1e6)
+	case us >= 1e3:
+		return fmt.Sprintf("%.2fms", us/1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", us)
+	}
+}
+
+// WriteReport renders the terminal resource report: the phase self-time
+// breakdown, alloc/GC attribution, and — when the log carries
+// scaling-probe records — the measured speedup curve per scheme with its
+// efficiency against ideal linear scaling.
+func WriteReport(w io.Writer, log *Log, opt ReportOptions) error {
+	ew := &errWriter{w: w}
+	if log.Truncated {
+		ew.printf("WARNING: final log line torn (run crashed mid-write); analyzing the intact prefix\n")
+	}
+	if len(log.Records) == 0 {
+		ew.printf("No resource records: capture was off (enable with -resources / resview.NewProbe).\n")
+		return ew.err
+	}
+	phases := Summarize(log.Records)
+	ew.printf("RESOURCES: %d records across %d phases (schema v%d)\n",
+		len(log.Records), len(phases), SchemaVersion)
+	writePhases(ew, phases, opt)
+	writeAllocs(ew, phases, opt)
+	if curves := Curves(log.Records); len(curves) > 0 {
+		writeScaling(ew, curves)
+	}
+	return ew.err
+}
+
+func writePhases(ew *errWriter, phases []PhaseSummary, opt ReportOptions) {
+	var maxWall float64
+	for _, s := range phases {
+		if s.WallUS > maxWall {
+			maxWall = s.WallUS
+		}
+	}
+	ew.printf("  phase self-time (wall clock):\n")
+	for i, s := range phases {
+		if i >= opt.maxPhases() {
+			ew.printf("    ... %d more phases elided (raise -phases)\n", len(phases)-i)
+			break
+		}
+		ew.printf("    %-24s %s %10s  x%-6d goroutines<=%d\n",
+			s.Phase, bar(s.WallUS, maxWall, 20), fmtUS(s.WallUS), s.Count, s.MaxGoroutines)
+	}
+}
+
+func writeAllocs(ew *errWriter, phases []PhaseSummary, opt ReportOptions) {
+	var maxBytes int64
+	for _, s := range phases {
+		if s.AllocBytes > maxBytes {
+			maxBytes = s.AllocBytes
+		}
+	}
+	ew.printf("  allocation / GC attribution:\n")
+	for i, s := range phases {
+		if i >= opt.maxPhases() {
+			ew.printf("    ... %d more phases elided (raise -phases)\n", len(phases)-i)
+			break
+		}
+		gc := ""
+		if s.GCCycles > 0 {
+			gc = fmt.Sprintf("  gc %d (pause %s)", s.GCCycles, fmtUS(s.GCPauseUS))
+		}
+		ew.printf("    %-24s %s %10s  %d allocs%s\n",
+			s.Phase, bar(float64(s.AllocBytes), float64(maxBytes), 20), fmtBytes(s.AllocBytes), s.Allocs, gc)
+	}
+}
+
+func writeScaling(ew *errWriter, curves []ScalingCurve) {
+	ew.printf("  scaling probe (parallel score replay; speedup vs 1 worker, ideal = linear):\n")
+	for _, c := range curves {
+		ew.printf("    %s:\n", c.Scheme)
+		for _, pt := range c.Points {
+			ideal := float64(pt.Workers)
+			ew.printf("      %3d workers  %10s  speedup %5.2fx %s  efficiency %5.1f%%\n",
+				pt.Workers, fmtUS(pt.WallUS), pt.Speedup, bar(pt.Speedup, ideal, 20), pt.Efficiency*100)
+		}
+	}
+}

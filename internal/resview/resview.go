@@ -1,0 +1,240 @@
+// Package resview is the runtime-resource half of the repo's
+// observability story: a Probe (attached through telemetry.PhaseProbe, the
+// hook interface the deterministic packages hold) snapshots real machine
+// state — wall clock, allocations, live heap, GC cycles and pauses,
+// goroutine counts — around named phases (partition streams, BPart
+// combining layers, cluster supersteps, bench experiments) and streams the
+// deltas as versioned JSONL `resource` records; this package reads them
+// back and derives the phase self-time breakdown, alloc/GC attribution and
+// the scaling-probe speedup curves. cmd/tracestat's `resources` subcommand
+// is the CLI over it.
+//
+// Everything here is host-dependent by nature and therefore lives outside
+// the determinism boundary: capture is strictly opt-in, the hook sites are
+// one nil check when disabled, and no resource record ever flows into the
+// trace, audit or BENCH byte-identity paths. For tests that compare probed
+// runs, Log.StripWallClock zeroes every host-dependent field, mirroring
+// the BENCH artifact's -deterministic normalization.
+package resview
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// SchemaVersion is the resource-record schema version. Bump it on any
+// incompatible field change; the reader rejects versions it does not
+// handle. The schema itself is documented in EXPERIMENTS.md.
+const SchemaVersion = 1
+
+// Record kinds: a span covers one BeginPhase/EndPhase pair; a lap covers
+// everything since the previous lap of the same phase name.
+const (
+	KindSpan = "span"
+	KindLap  = "lap"
+)
+
+// ScalingPhase is the phase name the scaling-probe harness
+// (internal/experiments) records one span per (scheme, workers) replay
+// under; Curves derives the speedup plot from records with this name.
+const ScalingPhase = "scaling.replay"
+
+// Record is one parsed resource record: the runtime's resource deltas over
+// one named phase.
+type Record struct {
+	// Seq is the probe's monotone emission index.
+	Seq int64
+	// Kind is KindSpan or KindLap.
+	Kind string
+	// Phase is the phase name ("partition.stream", "cluster.superstep",
+	// "bench.experiment", ...).
+	Phase string
+	// WallUS is the phase's wall-clock self-time in microseconds.
+	WallUS float64
+	// Allocs and AllocBytes are the heap objects and bytes allocated
+	// during the phase (runtime.MemStats Mallocs/TotalAlloc deltas).
+	Allocs     int64
+	AllocBytes int64
+	// HeapBytes is the live heap at phase end (HeapAlloc).
+	HeapBytes int64
+	// GCCycles and GCPauseUS are the garbage-collection cycles completed
+	// and stop-the-world pause time (µs) accrued during the phase.
+	GCCycles  int64
+	GCPauseUS float64
+	// GCCPUUS is the GC CPU time (µs) accrued during the phase, from
+	// runtime/metrics; 0 when the runtime does not expose it.
+	GCCPUUS float64
+	// Goroutines is the goroutine count at phase end.
+	Goroutines int
+	// Attrs carries the phase's annotations (k, workers, scheme, ...).
+	Attrs map[string]any
+}
+
+// Float returns the named attribute as a float64 (JSON numbers decode to
+// float64), with ok reporting presence.
+func (r *Record) Float(key string) (float64, bool) {
+	v, ok := r.Attrs[key].(float64)
+	return v, ok
+}
+
+// Int returns the named numeric attribute truncated to int.
+func (r *Record) Int(key string) (int, bool) {
+	v, ok := r.Float(key)
+	return int(v), ok
+}
+
+// Str returns the named string attribute.
+func (r *Record) Str(key string) (string, bool) {
+	v, ok := r.Attrs[key].(string)
+	return v, ok
+}
+
+// Log is a fully parsed resource log.
+type Log struct {
+	Records []Record
+	// Truncated reports that the final line was torn — the writing process
+	// died mid-write (the Probe writes whole lines, so only the last line
+	// of a crashed run can be damaged). The parsed prefix is complete and
+	// usable.
+	Truncated bool
+}
+
+// StripWallClock zeroes every host-dependent field of every record —
+// wall clock, allocation and GC deltas, goroutine counts — leaving only
+// the deterministic structure (seq, kind, phase, attrs). It is the
+// BENCH artifact's -deterministic normalization applied to resource logs:
+// two probed runs of the same workload strip to comparable logs.
+func (l *Log) StripWallClock() {
+	for i := range l.Records {
+		r := &l.Records[i]
+		r.WallUS = 0
+		r.Allocs = 0
+		r.AllocBytes = 0
+		r.HeapBytes = 0
+		r.GCCycles = 0
+		r.GCPauseUS = 0
+		r.GCCPUUS = 0
+		r.Goroutines = 0
+	}
+}
+
+// jsonRecord is the wire shape of one resource line. Fields marshal in
+// declaration order, so probe output is layout-stable.
+type jsonRecord struct {
+	V          int            `json:"v"`
+	Type       string         `json:"type"`
+	Seq        int64          `json:"seq"`
+	Kind       string         `json:"kind"`
+	Phase      string         `json:"phase"`
+	WallUS     float64        `json:"wall_us"`
+	Allocs     int64          `json:"allocs"`
+	AllocBytes int64          `json:"alloc_bytes"`
+	HeapBytes  int64          `json:"heap_bytes"`
+	GCCycles   int64          `json:"gc_cycles"`
+	GCPauseUS  float64        `json:"gc_pause_us"`
+	GCCPUUS    float64        `json:"gc_cpu_us,omitempty"`
+	Goroutines int            `json:"goroutines"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// maxLine bounds one JSONL line, matching traceview's reader.
+const maxLine = 16 << 20
+
+// Read parses a JSONL resource log. It follows traceview.Read's tolerance
+// contract exactly: only a torn final line is tolerated (flagged via
+// Log.Truncated), interior damage or an all-garbage first line is a hard
+// error, and unknown schema versions are rejected.
+func Read(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	l := &Log{}
+	type bad struct {
+		line int
+		err  error
+	}
+	var pending *bad
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if pending != nil {
+			return nil, fmt.Errorf("resview: line %d: %w (not the final line, refusing to skip)", pending.line, pending.err)
+		}
+		rec, err := parseLine(line)
+		if err != nil {
+			pending = &bad{lineNo, err}
+			continue
+		}
+		l.Records = append(l.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("resview: read: %w", err)
+	}
+	if pending != nil {
+		// A torn tail is only tolerable when it follows a usable prefix;
+		// if the very first line is garbage the file is not a resource log
+		// at all, and "empty but truncated" would hide that from callers.
+		if len(l.Records) == 0 {
+			return nil, fmt.Errorf("resview: line %d: %w (no valid resource records precede it)", pending.line, pending.err)
+		}
+		l.Truncated = true
+	}
+	return l, nil
+}
+
+// ReadFile parses the JSONL resource log at path.
+func ReadFile(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	l, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return l, nil
+}
+
+func parseLine(line string) (Record, error) {
+	var jr jsonRecord
+	if err := json.Unmarshal([]byte(line), &jr); err != nil {
+		return Record{}, err
+	}
+	if jr.Type != "resource" {
+		return Record{}, fmt.Errorf("record type %q, want \"resource\"", jr.Type)
+	}
+	if jr.V != SchemaVersion {
+		return Record{}, fmt.Errorf("resource record schema v%d, this reader handles v%d", jr.V, SchemaVersion)
+	}
+	if jr.Kind != KindSpan && jr.Kind != KindLap {
+		return Record{}, fmt.Errorf("unknown resource record kind %q", jr.Kind)
+	}
+	if jr.Phase == "" {
+		return Record{}, fmt.Errorf("resource record without a phase name")
+	}
+	if jr.WallUS < 0 {
+		return Record{}, fmt.Errorf("negative wall_us %v", jr.WallUS)
+	}
+	return Record{
+		Seq:        jr.Seq,
+		Kind:       jr.Kind,
+		Phase:      jr.Phase,
+		WallUS:     jr.WallUS,
+		Allocs:     jr.Allocs,
+		AllocBytes: jr.AllocBytes,
+		HeapBytes:  jr.HeapBytes,
+		GCCycles:   jr.GCCycles,
+		GCPauseUS:  jr.GCPauseUS,
+		GCCPUUS:    jr.GCCPUUS,
+		Goroutines: jr.Goroutines,
+		Attrs:      jr.Attrs,
+	}, nil
+}

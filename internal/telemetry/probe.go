@@ -1,0 +1,67 @@
+package telemetry
+
+// PhaseProbe receives begin/end notifications for named runtime phases —
+// a partition stream, one BPart combining layer, a cluster superstep, a
+// bench experiment — so a resource observer (internal/resview) can snapshot
+// real machine state (wall clock, allocations, GC, goroutines) around each
+// one.
+//
+// The probe lives in telemetry for the same reason Stopwatch does: the
+// deterministic packages may not read the host clock or runtime themselves
+// (the noclock lint enforces it), so they only ever hold this interface and
+// call it at phase boundaries. The implementation behind it — and every
+// host-dependent read — stays in the observability packages. A nil probe is
+// the default everywhere; hook sites guard with one nil check, so the
+// disabled path costs nothing and emits nothing (artifacts stay
+// byte-identical to a build without the hooks).
+//
+// Implementations must be safe for concurrent use; phases from different
+// goroutines may overlap.
+type PhaseProbe interface {
+	// BeginPhase opens a phase observation; the returned PhaseEnd must be
+	// called exactly once when the phase completes.
+	BeginPhase(name string, attrs ...Attr) PhaseEnd
+	// Lap emits one observation covering everything since the previous Lap
+	// with the same name (or since the probe started, for the first).
+	// Baselines are kept per name, so laps of one stream (for example
+	// cluster supersteps) interleaving with span-style phases of another do
+	// not corrupt each other.
+	Lap(name string, attrs ...Attr)
+}
+
+// PhaseEnd closes one phase observation opened by BeginPhase.
+type PhaseEnd interface {
+	// EndPhase records the phase's resource deltas, with any final
+	// attributes attached.
+	EndPhase(attrs ...Attr)
+}
+
+// nopProbe is the zero-overhead default: BeginPhase returns an
+// empty-struct PhaseEnd, so neither call allocates.
+type nopProbe struct{}
+
+func (nopProbe) BeginPhase(string, ...Attr) PhaseEnd { return nopPhaseEnd{} }
+func (nopProbe) Lap(string, ...Attr)                 {}
+
+type nopPhaseEnd struct{}
+
+func (nopPhaseEnd) EndPhase(...Attr) {}
+
+// NopProbe returns the no-op probe.
+func NopProbe() PhaseProbe { return nopProbe{} }
+
+// SafeProbe returns p, or the no-op probe when p is nil, so callers can
+// store an optional PhaseProbe and use it unconditionally.
+func SafeProbe(p PhaseProbe) PhaseProbe {
+	if p == nil {
+		return NopProbe()
+	}
+	return p
+}
+
+// Probeable is implemented by components (partitioners, engines, clusters)
+// that accept a resource probe after construction, mirroring
+// Instrumentable for tracers.
+type Probeable interface {
+	SetResourceProbe(PhaseProbe)
+}

@@ -1,0 +1,32 @@
+package telemetry
+
+import "testing"
+
+func TestNopProbe(t *testing.T) {
+	p := NopProbe()
+	pe := p.BeginPhase("x", Int("k", 8))
+	if pe == nil {
+		t.Fatal("NopProbe BeginPhase returned nil PhaseEnd")
+	}
+	pe.EndPhase(Int("done", 1))
+	p.Lap("y")
+}
+
+func TestSafeProbe(t *testing.T) {
+	if SafeProbe(nil) == nil {
+		t.Fatal("SafeProbe(nil) returned nil")
+	}
+	SafeProbe(nil).BeginPhase("x").EndPhase()
+	p := NopProbe()
+	if SafeProbe(p) != p {
+		t.Fatal("SafeProbe did not pass a non-nil probe through")
+	}
+}
+
+func BenchmarkNopProbePhase(b *testing.B) {
+	p := NopProbe()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.BeginPhase("x").EndPhase()
+	}
+}

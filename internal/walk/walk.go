@@ -207,6 +207,12 @@ func (e *Engine) SetTelemetry(tr telemetry.Tracer, reg *telemetry.Registry) {
 	e.cl.SetTelemetry(tr, reg)
 }
 
+// SetResourceProbe implements telemetry.Probeable by forwarding to the
+// underlying cluster: every walk superstep then emits one
+// "cluster.superstep" resource lap (real host time and alloc/GC activity,
+// not simulated time).
+func (e *Engine) SetResourceProbe(p telemetry.PhaseProbe) { e.cl.SetResourceProbe(p) }
+
 // walker is one active random walk.
 type walker struct {
 	cur       graph.VertexID
