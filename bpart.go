@@ -33,6 +33,7 @@ import (
 	"bpart/internal/partaudit"
 	"bpart/internal/partition"
 	"bpart/internal/resview"
+	"bpart/internal/servestats"
 	"bpart/internal/telemetry"
 	"bpart/internal/vcut"
 	"bpart/internal/walk"
@@ -313,6 +314,69 @@ func ReadResourceLog(r io.Reader) (*ResourceLog, error) { return resview.Read(r)
 
 // ReadResourceLogFile parses the JSONL resource log at path.
 func ReadResourceLogFile(path string) (*ResourceLog, error) { return resview.ReadFile(path) }
+
+// ---- serving-layer observability ----
+
+// ServingBackend answers placement lookups, bounded k-hop neighborhood
+// queries and seeded random walks over a graph + assignment, with
+// versioned atomic assignment hot-swap (see cmd/bpartd).
+type ServingBackend = servestats.Backend
+
+// ServingRecorder captures per-endpoint and per-part request-latency
+// histograms, windowed percentile snapshots, and the versioned JSONL
+// request log. A nil *ServingRecorder is a valid no-op everywhere.
+type ServingRecorder = servestats.Recorder
+
+// ServingServer mounts the serving endpoints (/v1/lookup, /v1/khop,
+// /v1/walk, /v1/swapz, /v1/statz) over a backend and optional recorder.
+type ServingServer = servestats.Server
+
+// ServingWorkload is a reproducible seeded Zipf request stream (see
+// cmd/loadgen).
+type ServingWorkload = servestats.Workload
+
+// ServingLog is a parsed request log (see ReadRequestLog).
+type ServingLog = servestats.Log
+
+// ServingReport digests a request log: per-endpoint and per-part
+// percentiles plus the assignment-version census.
+type ServingReport = servestats.Report
+
+// ServingAttribution is one part's row in the tail-attribution report.
+type ServingAttribution = servestats.Attribution
+
+// NewServingBackend builds a serving backend over g with the given
+// assignment (version 1).
+func NewServingBackend(g *Graph, parts []int, k int) (*ServingBackend, error) {
+	return servestats.NewBackend(g, parts, k)
+}
+
+// NewServingRecorder returns a recorder for k parts. logSink receives one
+// JSON line per request (nil disables the log); m receives the serving
+// counters and the aggregate latency histogram (nil disables them). Call
+// Close (or Flush) when done; it surfaces the first write error.
+func NewServingRecorder(k int, logSink io.Writer, m *Metrics) *ServingRecorder {
+	return servestats.NewRecorder(k, logSink, m)
+}
+
+// ReadRequestLog parses a JSONL serving request log. A torn final line
+// (crashed server) is tolerated and flagged via ServingLog.Truncated;
+// interior damage is a hard error.
+func ReadRequestLog(r io.Reader) (*ServingLog, error) { return servestats.Read(r) }
+
+// ReadRequestLogFile parses the JSONL request log at path.
+func ReadRequestLogFile(path string) (*ServingLog, error) { return servestats.ReadFile(path) }
+
+// SummarizeServing digests a request log into the percentile report
+// `tracestat serve` prints.
+func SummarizeServing(l *ServingLog) *ServingReport { return servestats.Summarize(l) }
+
+// AttributeServing reconciles one assignment version's routed requests
+// against the assignment exactly and returns the per-part tail
+// attribution; any disagreement between the log and parts is an error.
+func AttributeServing(l *ServingLog, parts []int, k, version int) ([]ServingAttribution, error) {
+	return servestats.Attribute(l, parts, k, version)
+}
 
 // ---- vertex-cut partitioning (the §5 alternative family) ----
 

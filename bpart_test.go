@@ -407,3 +407,47 @@ func TestPaperShapes(t *testing.T) {
 		t.Errorf("BPart wait ratio %v not well below Chunk-V %v", waits["BPart"], waits["Chunk-V"])
 	}
 }
+
+func TestFacadeServing(t *testing.T) {
+	g := smallTwitter(t)
+	a, err := Partition(g, "BPart", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewServingBackend(g, a.Parts, a.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	rec := NewServingRecorder(a.K, &buf, NewMetrics())
+	srv := &ServingServer{B: b, R: rec}
+	reqs, err := ServingWorkload{Seed: 7, Vertices: g.NumVertices(), Requests: 50, ZipfS: 1.1, LookupW: 1}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Play(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := ReadRequestLog(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := SummarizeServing(l)
+	if rep.Total != 50 || rep.Routed != 50 {
+		t.Fatalf("report = %+v", rep)
+	}
+	attrib, err := AttributeServing(l, a.Parts, a.K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var routed int64
+	for _, at := range attrib {
+		routed += at.Requests
+	}
+	if routed != 50 {
+		t.Fatalf("attribution covers %d of 50 requests", routed)
+	}
+}

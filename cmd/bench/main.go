@@ -16,8 +16,12 @@
 // row count) is appended as JSON lines, along with the engines' spans and
 // per-superstep cluster records — feed the file to cmd/tracestat. With
 // -json, a machine-readable BENCH artifact (schema in EXPERIMENTS.md) is
-// written for regression tracking; -deterministic zeroes its wall-clock
-// fields so two runs with identical flags produce byte-identical files.
+// written for regression tracking — including a serving section that
+// replays the canonical seeded Zipf request stream per scheme through the
+// bpartd HTTP surface (internal/servestats); -deterministic zeroes its
+// wall-clock fields (experiment seconds, resource walls, serving latency
+// percentiles) so two runs with identical flags produce byte-identical
+// files.
 // With -fault, the JSON fault schedule is injected into every engine the
 // experiments build and the artifact grows a recovery section;
 // -checkpoint-every overrides (or, without -fault, enables) superstep

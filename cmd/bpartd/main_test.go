@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bpart"
+)
+
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	adj := make([][]bpart.VertexID, 20)
+	for i := range adj {
+		adj[i] = []bpart.VertexID{bpart.VertexID((i + 1) % 20), bpart.VertexID((i + 19) % 20)}
+	}
+	g := bpart.FromAdjacency(adj)
+	path := filepath.Join(t.TempDir(), "ring.bg")
+	if err := bpart.WriteGraphFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBuildRejectsBadFlagCombos(t *testing.T) {
+	gp := writeTestGraph(t)
+	for name, c := range map[string]struct {
+		graph, dataset, assign, scheme string
+	}{
+		"no graph":          {},
+		"both graphs":       {graph: gp, dataset: "twitter-sim"},
+		"no assignment":     {graph: gp},
+		"both assignments":  {graph: gp, assign: "x", scheme: "Hash"},
+		"missing assign":    {graph: gp, assign: "/nonexistent/parts.txt"},
+		"unknown scheme":    {graph: gp, scheme: "Teleport"},
+		"missing graphfile": {graph: "/nonexistent/g.el", scheme: "Hash"},
+	} {
+		if _, err := build(c.graph, c.dataset, 1.0, c.assign, c.scheme, 4, ""); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBuildServesAndRecords(t *testing.T) {
+	gp := writeTestGraph(t)
+	reqlog := filepath.Join(t.TempDir(), "reqs.jsonl")
+	d, err := build(gp, "", 1.0, "", "Hash", 4, reqlog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Readiness flips only after load: build leaves it to run/the caller.
+	rec := httptest.NewRecorder()
+	d.mux.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("/readyz before ready = %d", rec.Code)
+	}
+	d.health.SetReady(true)
+	rec = httptest.NewRecorder()
+	d.mux.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/readyz after ready = %d", rec.Code)
+	}
+
+	for _, path := range []string{"/v1/lookup?v=3", "/v1/khop?v=0&hops=2", "/v1/walk?v=1&steps=5&seed=7", "/v1/statz", "/healthz", "/metrics"} {
+		rec := httptest.NewRecorder()
+		d.mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s = %d: %s", path, rec.Code, rec.Body.String())
+		}
+	}
+
+	// The in-process repartitioner backs scheme swaps.
+	rec = httptest.NewRecorder()
+	d.mux.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/swapz?scheme=Chunk-V&k=2", nil))
+	if rec.Code != 200 {
+		t.Fatalf("swap = %d: %s", rec.Code, rec.Body.String())
+	}
+	var sr struct {
+		Version int `json:"version"`
+		K       int `json:"k"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Version != 2 || sr.K != 2 {
+		t.Fatalf("swap = %+v", sr)
+	}
+
+	if err := d.close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(reqlog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 serving requests recorded (statz/healthz/metrics are not serving
+	// endpoints; the swap is control-plane).
+	if got := bytes.Count(data, []byte("\n")); got != 3 {
+		t.Fatalf("request log has %d records:\n%s", got, data)
+	}
+}
+
+func TestBuildFromAssignmentFileAndDataset(t *testing.T) {
+	d, err := build("", "lj-sim", 0.01, "", "Chunk-V", 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.srv.R != nil {
+		t.Fatal("recorder enabled without -reqlog")
+	}
+	view := d.srv.B.View()
+	ap := filepath.Join(t.TempDir(), "parts.txt")
+	if err := bpart.WriteAssignmentFile(ap, &bpart.Assignment{Parts: view.Parts(), K: view.K()}); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := build("", "lj-sim", 0.01, ap, "", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.srv.B.View().K() != view.K() {
+		t.Fatalf("assignment round-trip changed k: %d vs %d", d2.srv.B.View().K(), view.K())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exit = %d", code)
+	}
+	if code := run([]string{}, &out, &errb); code != 1 {
+		t.Fatalf("missing graph exit = %d", code)
+	}
+	if !strings.Contains(errb.String(), "need -graph") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+}

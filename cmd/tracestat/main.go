@@ -8,6 +8,7 @@
 //	tracestat critpath trace.jsonl
 //	tracestat comm [-html out.html] [-audit audit.jsonl] [-supersteps n] [-matrix n] trace.jsonl
 //	tracestat resources [-html out.html] [-phases n] resources.jsonl
+//	tracestat serve [-html out.html] [-assign parts.txt] [-version n] [-gate gate.json] reqlog.jsonl
 //	tracestat diff [-fail-above pct] baseline.jsonl candidate.jsonl
 //
 // report prints the full analysis: span aggregates, the reconstructed
@@ -20,7 +21,13 @@
 // predicted-vs-observed cut reconciliation and -html a heatmap page.
 // resources analyzes the resource records of a probed run (bench
 // -resources): phase self-time breakdown, alloc/GC attribution and the
-// scaling probe's speedup curves, with -html a chart page. diff compares
+// scaling probe's speedup curves, with -html a chart page. serve analyzes
+// a bpartd request log: per-endpoint and per-part latency percentiles and
+// the version census; -assign adds the per-part tail attribution
+// (reconciled exactly against the assignment, -version selecting which
+// swap generation, default 1), -gate checks p99 ceilings from a committed
+// gate file (exit 1 on breach), and -html writes the latency/heatmap
+// page. diff compares
 // two traces and, with -fail-above, exits 1 when any gated simulation
 // metric regressed by more than the given percent — the CI regression
 // gate.
@@ -33,8 +40,10 @@ import (
 	"os"
 
 	"bpart/internal/commview"
+	"bpart/internal/gio"
 	"bpart/internal/partaudit"
 	"bpart/internal/resview"
+	"bpart/internal/servestats"
 	"bpart/internal/traceview"
 )
 
@@ -49,6 +58,7 @@ func usage(stderr io.Writer) int {
   tracestat critpath trace.jsonl
   tracestat comm [-html out.html] [-audit audit.jsonl] [-supersteps n] [-matrix n] trace.jsonl
   tracestat resources [-html out.html] [-phases n] resources.jsonl
+  tracestat serve [-html out.html] [-assign parts.txt] [-version n] [-gate gate.json] reqlog.jsonl
   tracestat diff [-fail-above pct] baseline.jsonl candidate.jsonl`)
 	return 2
 }
@@ -69,6 +79,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdComm(args[1:], stdout, stderr)
 	case "resources":
 		return cmdResources(args[1:], stdout, stderr)
+	case "serve":
+		return cmdServe(args[1:], stdout, stderr)
 	case "diff":
 		return cmdDiff(args[1:], stdout, stderr)
 	default:
@@ -241,6 +253,65 @@ func cmdResources(args []string, stdout, stderr io.Writer) int {
 			return fail(stderr, err)
 		}
 		fmt.Fprintf(stdout, "\nwrote %s\n", *htmlPath)
+	}
+	return 0
+}
+
+func cmdServe(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	htmlPath := fs.String("html", "", "also write a self-contained latency/heatmap page to this file")
+	assignPath := fs.String("assign", "", "assignment file: adds the per-part tail attribution, reconciled exactly")
+	version := fs.Int("version", 1, "assignment version to attribute (with -assign)")
+	gatePath := fs.String("gate", "", "p99 gate file (baselines/SERVING_gate.json); exit 1 on breach")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		return usage(stderr)
+	}
+	log, err := servestats.ReadFile(fs.Arg(0))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	rep := servestats.Summarize(log)
+	var attrib []servestats.Attribution
+	if *assignPath != "" {
+		parts, k, err := gio.ReadAssignmentFile(*assignPath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if attrib, err = servestats.Attribute(log, parts, k, *version); err != nil {
+			return fail(stderr, err)
+		}
+	}
+	if err := servestats.WriteText(stdout, rep, attrib); err != nil {
+		return fail(stderr, err)
+	}
+	if *htmlPath != "" {
+		f, err := os.Create(*htmlPath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := servestats.WriteHTML(f, rep, attrib); err != nil {
+			f.Close()
+			return fail(stderr, err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "\nwrote %s\n", *htmlPath)
+	}
+	if *gatePath != "" {
+		gate, err := servestats.ReadGateFile(*gatePath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := gate.Check(rep); err != nil {
+			fmt.Fprintf(stderr, "tracestat: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "serving gate: ok")
 	}
 	return 0
 }

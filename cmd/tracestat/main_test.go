@@ -309,3 +309,86 @@ func TestResourcesCorruptFails(t *testing.T) {
 		t.Errorf("resources without a file exit = %d, want 2", code)
 	}
 }
+
+const sampleReqlog = `{"v":1,"type":"request","seq":1,"endpoint":"lookup","vertex":0,"part":0,"version":1,"status":200,"latency_us":100}
+{"v":1,"type":"request","seq":2,"endpoint":"lookup","vertex":1,"part":0,"version":1,"status":200,"latency_us":120}
+{"v":1,"type":"request","seq":3,"endpoint":"walk","vertex":2,"part":1,"version":1,"status":200,"latency_us":900}
+{"v":1,"type":"request","seq":4,"endpoint":"khop","vertex":3,"part":1,"version":1,"status":200,"latency_us":400}
+`
+
+const sampleAssign = `# bpart assignment k=2 n=4
+0
+0
+1
+1
+`
+
+func TestServeSubcommand(t *testing.T) {
+	path := writeTrace(t, "reqs.jsonl", sampleReqlog)
+	code, out, errb := runCLI(t, "serve", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"Serving report: 4 requests", "Per endpoint:", "lookup", "khop", "walk", "Per part:", "Versions:", "v1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serve output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Tail attribution") {
+		t.Error("attribution printed without -assign")
+	}
+}
+
+func TestServeAttributionAndHTML(t *testing.T) {
+	path := writeTrace(t, "reqs.jsonl", sampleReqlog)
+	assign := writeTrace(t, "parts.txt", sampleAssign)
+	htmlPath := filepath.Join(t.TempDir(), "serve.html")
+	code, out, errb := runCLI(t, "serve", "-assign", assign, "-html", htmlPath, path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "Tail attribution") || !strings.Contains(out, "pressure") {
+		t.Fatalf("attribution missing:\n%s", out)
+	}
+	html, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(html), "<svg") {
+		t.Fatal("HTML page has no SVG")
+	}
+}
+
+func TestServeAttributionRejectsMisroutedLog(t *testing.T) {
+	// The log routes vertex 0 to part 0; this assignment disagrees.
+	path := writeTrace(t, "reqs.jsonl", sampleReqlog)
+	assign := writeTrace(t, "parts.txt", "# bpart assignment k=2 n=4\n1\n1\n0\n0\n")
+	code, _, errb := runCLI(t, "serve", "-assign", assign, path)
+	if code != 1 || !strings.Contains(errb, "assignment says") {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+}
+
+func TestServeGate(t *testing.T) {
+	path := writeTrace(t, "reqs.jsonl", sampleReqlog)
+	pass := writeTrace(t, "gate.json", `{"v":1,"max_p99_us":{"lookup":100000,"walk":100000}}`)
+	code, out, errb := runCLI(t, "serve", "-gate", pass, path)
+	if code != 0 || !strings.Contains(out, "serving gate: ok") {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	tight := writeTrace(t, "tight.json", `{"v":1,"max_p99_us":{"walk":1}}`)
+	code, _, errb = runCLI(t, "serve", "-gate", tight, path)
+	if code != 1 || !strings.Contains(errb, "exceeds gate") {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+}
+
+func TestServeBadInputs(t *testing.T) {
+	if code, _, _ := runCLI(t, "serve"); code != 2 {
+		t.Fatalf("no args exit = %d", code)
+	}
+	garbage := writeTrace(t, "bad.jsonl", "not a reqlog\n")
+	if code, _, _ := runCLI(t, "serve", garbage); code != 1 {
+		t.Fatalf("garbage log exit = %d", code)
+	}
+}

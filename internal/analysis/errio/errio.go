@@ -1,6 +1,7 @@
 // Package errio forbids discarding writer and flush errors in the I/O
 // packages (internal/gio, internal/telemetry, internal/cluster,
-// internal/partaudit, internal/commview, internal/resview).
+// internal/partaudit, internal/commview, internal/resview,
+// internal/servestats).
 //
 // Graph dumps, assignment files, JSONL traces and CSV timelines are the
 // artifacts experiments are reproduced from; a full disk or closed pipe
@@ -23,7 +24,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "errio",
 	Doc: "forbid discarded writer/flush errors in I/O packages\n\n" +
 		"In internal/gio, internal/telemetry, internal/cluster, " +
-		"internal/partaudit, internal/commview and internal/resview, errors from " +
+		"internal/partaudit, internal/commview, internal/resview and " +
+		"internal/servestats, errors from " +
 		"Write*/Flush/Sync/fmt.Fprint* calls " +
 		"must be checked; bytes.Buffer, strings.Builder and " +
 		"http.ResponseWriter sinks are exempt.",
@@ -33,7 +35,7 @@ var Analyzer = &analysis.Analyzer{
 // scoped reports whether the package writes artifacts worth protecting.
 // Testdata fixtures mirror the layout (testdata/errio/gio).
 func scoped(path string) bool {
-	for _, s := range []string{"/gio", "/telemetry", "/cluster", "/partaudit", "/commview", "/resview"} {
+	for _, s := range []string{"/gio", "/telemetry", "/cluster", "/partaudit", "/commview", "/resview", "/servestats"} {
 		if strings.Contains(path, s) {
 			return true
 		}

@@ -23,6 +23,10 @@ func TestSeededViolationsResview(t *testing.T) {
 	analysistest.Run(t, "../testdata/errio/resview", errio.Analyzer)
 }
 
+func TestSeededViolationsServestats(t *testing.T) {
+	analysistest.Run(t, "../testdata/errio/servestats", errio.Analyzer)
+}
+
 func TestOutOfScopePackagesAreClean(t *testing.T) {
 	analysistest.Run(t, "../testdata/errio/other", errio.Analyzer)
 }

@@ -18,3 +18,7 @@ func TestSeededViolationsPartaudit(t *testing.T) {
 func TestSeededViolationsCommview(t *testing.T) {
 	analysistest.Run(t, "../testdata/metricname/commview", metricname.Analyzer)
 }
+
+func TestSeededViolationsServestats(t *testing.T) {
+	analysistest.Run(t, "../testdata/metricname/servestats", metricname.Analyzer)
+}

@@ -16,7 +16,12 @@
 // observability boundary, exempt by construction — via
 // telemetry.NewStopwatch; runtime resource capture likewise lives in the
 // exempt internal/resview, which the deterministic packages reach only
-// through the telemetry.PhaseProbe interface. Test files are exempt:
+// through the telemetry.PhaseProbe interface; request-latency capture for
+// the serving layer lives in the exempt internal/servestats, whose clock
+// reads are the feature (the BENCH serving section stays deterministic
+// because StripWallClock zeroes the latency columns, and experiments
+// drives serving through servestats.Play rather than timing anything
+// itself). Test files are exempt:
 // -timeout handling and
 // benchmark plumbing there are the test harness's business. Anything else
 // needs a bpartlint:ignore noclock waiver and a reason.

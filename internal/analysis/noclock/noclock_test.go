@@ -22,6 +22,14 @@ func TestResviewIsExempt(t *testing.T) {
 	analysistest.Run(t, "../testdata/noclock/resview", noclock.Analyzer)
 }
 
+// TestServestatsIsExempt pins the serving-layer boundary: servestats is
+// the package that stamps request latencies off the host clock on the
+// serving surface's behalf, so — like resview and telemetry — it must
+// stay outside noclock's scope.
+func TestServestatsIsExempt(t *testing.T) {
+	analysistest.Run(t, "../testdata/noclock/servestats", noclock.Analyzer)
+}
+
 // TestSegmentNotSubstring pins scope matching to whole path segments: a
 // package named clustering shares a prefix with the deterministic package
 // cluster and must stay exempt.

@@ -1,0 +1,49 @@
+// Package servestats seeds errio violations in the request-log recorder
+// idiom; its path ends in /servestats so it is in the analyzer's I/O
+// scope, like bpart/internal/servestats. A request log that silently
+// truncates on a full disk turns a routing trace into a partial one —
+// tail attribution reconciled against it would then be wrong, which is
+// exactly why the real recorder keeps write errors sticky.
+package servestats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// RecordUnchecked appends one request record without checking the sink —
+// a torn log tail looks like a quiet server.
+func RecordUnchecked(w *bufio.Writer, endpoint string, latencyUS float64) {
+	fmt.Fprintf(w, `{"endpoint":%q,"latency_us":%v}`+"\n", endpoint, latencyUS) // want `error from Fprintf discarded`
+	w.Flush()                                                                   // want `error from Flush discarded`
+}
+
+// CloseUnchecked blanks the final flush — the exact failure Close exists
+// to surface.
+func CloseUnchecked(w *bufio.Writer, sink io.Writer) {
+	_ = w.Flush()                        // want `error from Flush blanked with _`
+	_, _ = io.WriteString(sink, "eof\n") // want `error from WriteString blanked with _`
+}
+
+// RecordSticky is the discipline the real recorder uses: the first write
+// or flush failure is recorded and every later record no-ops against it.
+func RecordSticky(w *bufio.Writer, endpoint string, latencyUS float64, werr *error) {
+	if *werr != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(w, `{"endpoint":%q,"latency_us":%v}`+"\n", endpoint, latencyUS); err != nil {
+		*werr = err
+		return
+	}
+	if err := w.Flush(); err != nil {
+		*werr = err
+	}
+}
+
+// Respond writes to the HTTP response — an exempt sink: the client is
+// gone on failure and there is nothing the handler can do about it.
+func Respond(w http.ResponseWriter, body string) {
+	io.WriteString(w, body)
+}

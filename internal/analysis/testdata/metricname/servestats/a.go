@@ -1,0 +1,57 @@
+// Package servestats seeds metricname cases in the serving-recorder
+// idiom of internal/servestats: a fixed set of constant serving series,
+// with per-endpoint and per-part fan-out held as raw histograms on the
+// recorder rather than spliced into registry names.
+package servestats
+
+// Counter mimics telemetry.Counter.
+type Counter struct{}
+
+// Inc increments.
+func (*Counter) Inc() {}
+
+// Gauge mimics telemetry.Gauge.
+type Gauge struct{}
+
+// Set records a value.
+func (*Gauge) Set(float64) {}
+
+// Histogram mimics telemetry.Histogram.
+type Histogram struct{}
+
+// Observe records a sample.
+func (*Histogram) Observe(float64) {}
+
+// Registry mimics telemetry.Registry.
+type Registry struct{}
+
+// Counter returns the named counter.
+func (*Registry) Counter(name string) *Counter { return nil }
+
+// Gauge returns the named gauge.
+func (*Registry) Gauge(name string) *Gauge { return nil }
+
+// Histogram returns the named histogram.
+func (*Registry) Histogram(name string) *Histogram { return nil }
+
+// The real recorder's registry surface: four constant snake_case names,
+// one kind each.
+const (
+	metricRequestsTotal = "serving_requests_total"
+	metricInflight      = "serving_inflight"
+	metricLatencyUS     = "serving_latency_us"
+)
+
+// End mirrors the recorder's per-request bookkeeping.
+func End(reg *Registry, endpoint string, part int, us float64) {
+	reg.Counter(metricRequestsTotal).Inc()
+	reg.Gauge(metricInflight).Set(0)
+	reg.Histogram(metricLatencyUS).Observe(us)
+
+	// Splicing the endpoint into the name forks one logical metric into an
+	// unenumerable family — per-endpoint fan-out belongs on the recorder's
+	// own histogram map, not in registry names.
+	reg.Histogram("serving_latency_us_" + endpoint).Observe(us) // want `metric name must be a compile-time string constant`
+	// Reusing the in-flight gauge's name as a counter splits the series.
+	reg.Counter(metricInflight).Inc() // want `metric "serving_inflight" registered as counter here but as gauge`
+}

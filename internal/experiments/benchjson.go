@@ -112,6 +112,7 @@ type BenchArtifact struct {
 	Recovery      []BenchRecovery              `json:"recovery,omitempty"`
 	Comm          []BenchComm                  `json:"comm"`
 	Resources     []BenchResource              `json:"resources,omitempty"`
+	Serving       []BenchServing               `json:"serving"`
 	Histograms    []telemetry.HistogramSummary `json:"histograms"`
 }
 
@@ -124,6 +125,7 @@ func NewBenchArtifact(opt Options) *BenchArtifact {
 		Experiments:   []BenchExperiment{},
 		Partitions:    []BenchPartition{},
 		Comm:          []BenchComm{},
+		Serving:       []BenchServing{},
 		Histograms:    []telemetry.HistogramSummary{},
 	}
 }
@@ -149,8 +151,9 @@ var benchWalkConfig = walk.Config{Kind: walk.Simple, WalkersPerVertex: 1, Steps:
 // Collect fills the deterministic sections: the canonical partition
 // comparison (every scheme on the LJ-sim dataset, always fault-free so the
 // section stays regression-diffable across runs with and without -fault),
-// the fault-recovery comparison when opt.Faults is set, and, when reg is
-// non-nil, the registry's histogram summaries (sorted by name).
+// the fault-recovery comparison when opt.Faults is set, the serving
+// comparison (the canonical Zipf request stream replayed per scheme), and,
+// when reg is non-nil, the registry's histogram summaries (sorted by name).
 func (a *BenchArtifact) Collect(opt Options, reg *telemetry.Registry) error {
 	d := gen.LJSim
 	g, err := dataset(d, opt)
@@ -211,6 +214,9 @@ func (a *BenchArtifact) Collect(opt Options, reg *telemetry.Registry) error {
 			return err
 		}
 	}
+	if err := a.collectServing(d, base); err != nil {
+		return err
+	}
 	if reg != nil {
 		a.Histograms = reg.HistogramSummaries()
 	}
@@ -267,8 +273,9 @@ func (a *BenchArtifact) collectRecovery(d gen.Dataset, opt Options) error {
 }
 
 // StripWallClock zeroes every wall-clock field (bench -deterministic):
-// wall seconds are the artifact's only nondeterministic content, so a
-// stripped artifact is byte-identical across runs with the same flags.
+// experiment wall seconds, resource wall/speedup columns, and serving
+// latency percentiles are the artifact's only nondeterministic content, so
+// a stripped artifact is byte-identical across runs with the same flags.
 func (a *BenchArtifact) StripWallClock() {
 	for i := range a.Experiments {
 		a.Experiments[i].WallSeconds = 0
@@ -277,6 +284,12 @@ func (a *BenchArtifact) StripWallClock() {
 		a.Resources[i].WallUS = 0
 		a.Resources[i].Speedup = 0
 		a.Resources[i].Efficiency = 0
+	}
+	for i := range a.Serving {
+		for j := range a.Serving[i].Endpoints {
+			e := &a.Serving[i].Endpoints[j]
+			e.P50US, e.P95US, e.P99US, e.P999US = 0, 0, 0, 0
+		}
 	}
 }
 

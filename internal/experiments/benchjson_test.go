@@ -159,7 +159,7 @@ func TestBenchArtifactWireShape(t *testing.T) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"schema_version", "scale", "experiments", "partitions", "comm", "histograms"} {
+	for _, key := range []string{"schema_version", "scale", "experiments", "partitions", "comm", "serving", "histograms"} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("artifact missing %q key", key)
 		}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The serving section must carry one cell per scheme with a full endpoint
+// digest, live latencies, and routing-skew columns in their defined ranges.
+func TestBenchServingSection(t *testing.T) {
+	opt := Options{Scale: testScale}
+	a := NewBenchArtifact(opt)
+	if err := a.Collect(opt, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Serving) != len(allSchemes) {
+		t.Fatalf("got %d serving cells, want %d", len(a.Serving), len(allSchemes))
+	}
+	for _, s := range a.Serving {
+		if s.K != benchPartitionK || s.Graph == "" || s.Requests != benchServingRequests {
+			t.Fatalf("serving cell = %+v", s)
+		}
+		if s.HotPart < 0 || s.HotPart >= benchPartitionK || s.HotShare <= 0 || s.HotShare > 1 {
+			t.Fatalf("%s hot part = %+v", s.Scheme, s)
+		}
+		// Shares and vertex shares both sum to 1, so some part is at least
+		// as hot as its size predicts.
+		if s.MaxPressure < 0.99 {
+			t.Fatalf("%s max pressure = %v", s.Scheme, s.MaxPressure)
+		}
+		if len(s.Endpoints) != 3 {
+			t.Fatalf("%s endpoints = %+v", s.Scheme, s.Endpoints)
+		}
+		var total int64
+		for _, e := range s.Endpoints {
+			total += e.Requests
+			if e.Requests <= 0 || e.P50US <= 0 || e.P99US < e.P50US || e.P999US < e.P99US {
+				t.Fatalf("%s %s digest = %+v", s.Scheme, e.Endpoint, e)
+			}
+		}
+		if total != s.Requests {
+			t.Fatalf("%s endpoint counts sum to %d, cell has %d", s.Scheme, total, s.Requests)
+		}
+	}
+}
+
+// Under StripWallClock the serving section must be byte-identical across
+// collections: the seeded stream routes the same way every run, and the
+// latency columns are the only live measurements.
+func TestBenchServingDeterministicUnderStrip(t *testing.T) {
+	opt := Options{Scale: testScale}
+	var outs [2]bytes.Buffer
+	for i := range outs {
+		a := NewBenchArtifact(opt)
+		if err := a.Collect(opt, nil); err != nil {
+			t.Fatal(err)
+		}
+		a.StripWallClock()
+		for _, s := range a.Serving {
+			for _, e := range s.Endpoints {
+				if e.P50US != 0 || e.P95US != 0 || e.P99US != 0 || e.P999US != 0 {
+					t.Fatalf("stripped cell still carries latency: %+v", e)
+				}
+			}
+		}
+		if err := a.WriteJSON(&outs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(outs[0].Bytes(), outs[1].Bytes()) {
+		t.Fatal("two stripped collections differ")
+	}
+}

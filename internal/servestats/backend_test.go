@@ -1,0 +1,153 @@
+package servestats
+
+import (
+	"reflect"
+	"testing"
+
+	"bpart/internal/graph"
+)
+
+func ringGraph(n int) *graph.Graph {
+	adj := make([][]graph.VertexID, n)
+	for i := range adj {
+		adj[i] = []graph.VertexID{graph.VertexID((i + 1) % n), graph.VertexID((i + n - 1) % n)}
+	}
+	return graph.FromAdjacency(adj)
+}
+
+func blockAssignment(n, k int) []int {
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = i * k / n
+	}
+	return parts
+}
+
+func TestBackendValidation(t *testing.T) {
+	g := ringGraph(10)
+	if _, err := NewBackend(g, blockAssignment(10, 2), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewBackend(g, blockAssignment(8, 2), 2); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := NewBackend(g, []int{0, 0, 0, 0, 0, 0, 0, 0, 0, 5}, 2); err == nil {
+		t.Error("out-of-range part accepted")
+	}
+	b, err := NewBackend(g, blockAssignment(10, 2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := b.View(); v.Version() != 1 || v.K() != 2 {
+		t.Fatalf("initial view = v%d k%d", v.Version(), v.K())
+	}
+}
+
+func TestViewDefensiveCopy(t *testing.T) {
+	g := ringGraph(4)
+	parts := []int{0, 0, 1, 1}
+	b, err := NewBackend(g, parts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts[0] = 1 // caller mutates its slice after handing it over
+	if got := b.View().Part(0); got != 0 {
+		t.Fatalf("view aliased the caller's slice: part(0) = %d", got)
+	}
+	cp := b.View().Parts()
+	cp[1] = 1
+	if got := b.View().Part(1); got != 0 {
+		t.Fatalf("Parts() aliased the view: part(1) = %d", got)
+	}
+}
+
+func TestSwapVersions(t *testing.T) {
+	g := ringGraph(6)
+	b, err := NewBackend(g, blockAssignment(6, 2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := b.View()
+	v2, err := b.Swap(blockAssignment(6, 3), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Version() != 2 || v2.K() != 3 {
+		t.Fatalf("swapped view = v%d k%d", v2.Version(), v2.K())
+	}
+	// The old view stays usable for requests that already hold it.
+	if old.Version() != 1 || old.Part(5) != 1 {
+		t.Fatalf("old view mutated by swap: v%d part(5)=%d", old.Version(), old.Part(5))
+	}
+	if _, err := b.Swap(blockAssignment(6, 2), 0); err == nil {
+		t.Error("invalid swap accepted")
+	}
+	if got := b.View().Version(); got != 2 {
+		t.Fatalf("failed swap changed the view to v%d", got)
+	}
+}
+
+func TestKHopDeterministicAndBounded(t *testing.T) {
+	g := ringGraph(16)
+	b, err := NewBackend(g, blockAssignment(16, 4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, sample := b.KHop(0, 2, 10)
+	// Ring: 1 hop reaches {1,15}, 2 hops adds {2,14}.
+	if count != 4 {
+		t.Fatalf("2-hop count = %d, want 4", count)
+	}
+	want := []graph.VertexID{1, 15, 2, 14}
+	if !reflect.DeepEqual(sample, want) {
+		t.Fatalf("sample = %v, want %v", sample, want)
+	}
+	count2, sample2 := b.KHop(0, 2, 10)
+	if count2 != count || !reflect.DeepEqual(sample2, sample) {
+		t.Fatal("KHop not deterministic")
+	}
+	_, limited := b.KHop(0, 2, 2)
+	if len(limited) != 2 {
+		t.Fatalf("limit ignored: %v", limited)
+	}
+	if c, s := b.KHop(99, 2, 10); c != 0 || s != nil {
+		t.Fatalf("out-of-range khop = %d %v", c, s)
+	}
+}
+
+func TestWalkDeterministicPerSeed(t *testing.T) {
+	g := ringGraph(32)
+	b, err := NewBackend(g, blockAssignment(32, 4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end1, n1 := b.Walk(3, 50, 0.1, 7)
+	end2, n2 := b.Walk(3, 50, 0.1, 7)
+	if end1 != end2 || n1 != n2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", end1, n1, end2, n2)
+	}
+	if n1 != 50 {
+		t.Fatalf("walk on a ring took %d steps, want 50", n1)
+	}
+	// Different seeds should disagree somewhere over a few tries.
+	same := true
+	for seed := uint64(0); seed < 8 && same; seed++ {
+		e, _ := b.Walk(3, 50, 0.1, seed)
+		same = e == end1
+	}
+	if same {
+		t.Fatal("walk ignores its seed")
+	}
+	// Sink without restart stops early; with restart it keeps going.
+	sink := graph.FromAdjacency([][]graph.VertexID{{1}, {}})
+	sb, err := NewBackend(sink, []int{0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, n := sb.Walk(0, 10, 0, 1); n != 1 {
+		t.Fatalf("sink walk visited %d, want 1", n)
+	}
+	if _, n := sb.Walk(0, 10, 0.5, 1); n != 10 {
+		t.Fatalf("sink walk with restart visited %d, want 10", n)
+	}
+}

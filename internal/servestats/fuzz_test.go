@@ -1,0 +1,63 @@
+package servestats
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead throws arbitrary byte streams at the JSONL request-log reader,
+// mirroring traceview.FuzzRead and partaudit.FuzzReadLog. The reader faces
+// logs written by a server that may have been killed mid-line, so it must
+// never panic, and its tolerance contract is precise: only the final line
+// may be damaged — and only when a usable prefix precedes it (flagged via
+// Truncated); damage anywhere earlier, or a file with no usable records at
+// all, is a hard error. Anything that parses cleanly must survive a second
+// pass over the same bytes with identical results.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte(goodLine + "\n"))
+	f.Add([]byte(goodLine + "\n" + `{"v":1,"type":"request","seq":2,"endpoint":"walk","vertex":3,"part":1,"version":2,"status":200,"latency_us":99}` + "\n"))
+	// Torn final line after a usable prefix: the only damage Read tolerates.
+	f.Add([]byte(goodLine + "\n" + `{"v":1,"type":"requ`))
+	// Interior damage: must be a hard error.
+	f.Add([]byte("garbage\n" + goodLine + "\n"))
+	// Whole-file garbage: must be a hard error, not Truncated+empty.
+	f.Add([]byte("not a request log\n"))
+	f.Add([]byte(`{"v":1,"type":"wormhole"}` + "\n"))
+	f.Add([]byte(`{"v":99,"type":"request","endpoint":"lookup"}` + "\n"))
+	f.Add([]byte(`{"v":1,"type":"request","endpoint":"lookup","latency_us":-1}` + "\n"))
+	f.Add([]byte("\n\n  \n"))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xfe, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if l == nil {
+			t.Fatal("Read returned nil log with nil error")
+		}
+		// A truncated-but-empty log would hide a non-log file from callers;
+		// the reader promises never to produce one.
+		if l.Truncated && len(l.Records) == 0 {
+			t.Fatal("Read produced Truncated with no usable records")
+		}
+		l2, err2 := Read(bytes.NewReader(data))
+		if err2 != nil {
+			t.Fatalf("second Read of identical bytes failed: %v", err2)
+		}
+		if l2.Truncated != l.Truncated || len(l2.Records) != len(l.Records) {
+			t.Fatal("non-deterministic parse of identical bytes")
+		}
+		for _, r := range l.Records {
+			if r.LatencyUS < 0 || r.Part < -1 {
+				t.Fatalf("invalid record escaped validation: %+v", r)
+			}
+			switch r.Endpoint {
+			case EndpointLookup, EndpointKHop, EndpointWalk:
+			default:
+				t.Fatalf("unknown endpoint escaped validation: %+v", r)
+			}
+		}
+	})
+}

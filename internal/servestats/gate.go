@@ -1,0 +1,56 @@
+package servestats
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Gate is a committed serving-latency ceiling (baselines/SERVING_gate.json):
+// per-endpoint p99 upper bounds in microseconds. CI fails a smoke run whose
+// report exceeds any ceiling, the serving analogue of the BENCH byte
+// comparison — loose enough to survive shared runners, tight enough to
+// catch a serving-path regression measured in milliseconds.
+type Gate struct {
+	V        int                `json:"v"`
+	MaxP99US map[string]float64 `json:"max_p99_us"`
+}
+
+// GateSchemaVersion is the gate file schema.
+const GateSchemaVersion = 1
+
+// ReadGateFile parses a gate file.
+func ReadGateFile(path string) (*Gate, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var g Gate
+	if err := json.Unmarshal(b, &g); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if g.V != GateSchemaVersion {
+		return nil, fmt.Errorf("%s: gate schema v%d, this reader handles v%d", path, g.V, GateSchemaVersion)
+	}
+	if len(g.MaxP99US) == 0 {
+		return nil, fmt.Errorf("%s: gate has no ceilings", path)
+	}
+	return &g, nil
+}
+
+// Check compares a report against the gate: every endpoint present in both
+// must sit at or under its ceiling. Endpoints in the report without a
+// ceiling pass (new endpoints should not fail old gates); ceilings without
+// traffic pass (a smoke run need not exercise everything).
+func (g *Gate) Check(rep *Report) error {
+	for _, e := range rep.Endpoints {
+		max, ok := g.MaxP99US[e.Endpoint]
+		if !ok {
+			continue
+		}
+		if e.P99 > max {
+			return fmt.Errorf("servestats: %s p99 %.0fµs exceeds gate %.0fµs", e.Endpoint, e.P99, max)
+		}
+	}
+	return nil
+}

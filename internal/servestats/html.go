@@ -1,0 +1,138 @@
+package servestats
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"bpart/internal/htmlpage"
+)
+
+// WriteHTML renders the report as a self-contained HTML page (htmlpage
+// chrome, inline SVG, no external assets): a per-endpoint latency
+// percentile chart and a per-part request-share/p99 heatmap — the visual
+// answer to "which parts carry the tail". attrib may be nil when no
+// assignment was available to attribute against.
+func WriteHTML(w io.Writer, rep *Report, attrib []Attribution) error {
+	if err := htmlpage.Start(w, "bpart serving latency"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "<p class=\"meta\">%d requests, %d routed to parts", rep.Total, rep.Routed); err != nil {
+		return err
+	}
+	if rep.Truncated {
+		if _, err := io.WriteString(w, " <span class=\"warn\">(log truncated: torn final line)</span>"); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "</p>\n"); err != nil {
+		return err
+	}
+	if err := writeEndpointSVG(w, rep); err != nil {
+		return err
+	}
+	if err := writePartSVG(w, rep, attrib); err != nil {
+		return err
+	}
+	return htmlpage.End(w)
+}
+
+// logScale maps a latency (µs) onto [0, width] with a log axis topping out
+// at max.
+func logScale(us, max float64, width int) float64 {
+	if us <= 1 || max <= 1 {
+		return 0
+	}
+	f := math.Log(us) / math.Log(max)
+	if f > 1 {
+		f = 1
+	}
+	return f * float64(width)
+}
+
+func writeEndpointSVG(w io.Writer, rep *Report) error {
+	if _, err := io.WriteString(w, "<h2>Latency percentiles per endpoint</h2>\n"); err != nil {
+		return err
+	}
+	const rowH, width = 26, 640
+	max := 1.0
+	for _, e := range rep.Endpoints {
+		max = math.Max(max, e.P999)
+	}
+	h := len(rep.Endpoints)*rowH + 24
+	if _, err := fmt.Fprintf(w, "<svg width=\"%d\" height=\"%d\">\n", width+160, h); err != nil {
+		return err
+	}
+	for i, e := range rep.Endpoints {
+		y := i*rowH + 16
+		// Bar to p99; ticks at p50/p95/p999.
+		if _, err := fmt.Fprintf(w, "<text class=\"lbl\" x=\"4\" y=\"%d\">%s (n=%d)</text>\n", y+12, e.Endpoint, e.Count); err != nil {
+			return err
+		}
+		x0 := 140.0
+		if _, err := fmt.Fprintf(w, "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"14\" fill=\"#4a90d9\"/>\n",
+			x0, y, logScale(e.P99, max, width)); err != nil {
+			return err
+		}
+		for _, tick := range []struct {
+			us    float64
+			color string
+		}{{e.P50, "#222"}, {e.P95, "#a60"}, {e.P999, "#b00"}} {
+			if _, err := fmt.Fprintf(w, "<rect x=\"%.1f\" y=\"%d\" width=\"2\" height=\"14\" fill=\"%s\"/>\n",
+				x0+logScale(tick.us, max, width), y, tick.color); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "<text class=\"lbl\" x=\"%.1f\" y=\"%d\">p50 %.0fµs · p95 %.0fµs · p99 %.0fµs · p999 %.0fµs</text>\n",
+			x0+4, y-2, e.P50, e.P95, e.P99, e.P999); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "</svg>\n")
+	return err
+}
+
+func writePartSVG(w io.Writer, rep *Report, attrib []Attribution) error {
+	if len(rep.Parts) == 0 {
+		return nil
+	}
+	if _, err := io.WriteString(w, "<h2>Per-part request share and tail</h2>\n"); err != nil {
+		return err
+	}
+	const cellW, cellH = 56, 44
+	maxP99 := 1.0
+	for _, p := range rep.Parts {
+		maxP99 = math.Max(maxP99, p.P99)
+	}
+	pressure := map[int]float64{}
+	for _, a := range attrib {
+		pressure[a.Part] = a.Pressure
+	}
+	if _, err := fmt.Fprintf(w, "<svg width=\"%d\" height=\"%d\">\n", len(rep.Parts)*cellW+8, cellH+40); err != nil {
+		return err
+	}
+	for i, p := range rep.Parts {
+		x := i*cellW + 4
+		// Heat: p99 relative to the hottest part.
+		heat := int(200 * p.P99 / maxP99)
+		if _, err := fmt.Fprintf(w, "<rect x=\"%d\" y=\"4\" width=\"%d\" height=\"%d\" fill=\"rgb(%d,%d,%d)\"/>\n",
+			x, cellW-4, cellH, 55+heat, 80, 235-heat); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "<text class=\"lbl\" x=\"%d\" y=\"%d\" fill=\"#fff\">p%d</text>\n", x+4, 20, p.Part); err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%.1f%% · p99 %.0fµs", 100*p.Share, p.P99)
+		if pr, ok := pressure[p.Part]; ok {
+			label += fmt.Sprintf(" · ×%.2f", pr)
+		}
+		if _, err := fmt.Fprintf(w, "<text class=\"lbl\" x=\"%d\" y=\"%d\">%s</text>\n", x, cellH+20, label); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "</svg>\n"); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "<p class=\"meta\">×N is request pressure: the part's request share over its vertex share (1.00 = load exactly proportional to size).</p>\n")
+	return err
+}

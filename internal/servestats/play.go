@@ -1,0 +1,50 @@
+package servestats
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+)
+
+// RequestPath renders a generated request as the serving path + query the
+// HTTP surface understands — the single encoding shared by the in-process
+// player and cmd/loadgen's network client, so both drive byte-identical
+// request streams.
+func RequestPath(r Request) string {
+	q := url.Values{}
+	q.Set("v", strconv.FormatInt(int64(r.Vertex), 10))
+	switch r.Endpoint {
+	case EndpointKHop:
+		q.Set("hops", strconv.Itoa(r.Hops))
+		return "/v1/khop?" + q.Encode()
+	case EndpointWalk:
+		q.Set("steps", strconv.Itoa(r.Steps))
+		if r.Alpha > 0 {
+			q.Set("alpha", strconv.FormatFloat(r.Alpha, 'g', -1, 64))
+		}
+		q.Set("seed", strconv.FormatUint(r.Seed, 10))
+		return "/v1/walk?" + q.Encode()
+	default:
+		return "/v1/lookup?" + q.Encode()
+	}
+}
+
+// Play drives a request stream through the server's handlers in-process —
+// no sockets, but the full HTTP surface (mux routing, parameter parsing,
+// JSON encoding), so what cmd/bench measures is what bpartd serves. It
+// stops at the first non-2xx response; a generated workload is in-range by
+// construction, so any error is a harness bug worth surfacing.
+func (s *Server) Play(reqs []Request) error {
+	mux := s.Mux()
+	for i, r := range reqs {
+		req := httptest.NewRequest(http.MethodGet, RequestPath(r), nil)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code < 200 || rec.Code > 299 {
+			return fmt.Errorf("servestats: request %d (%s) failed with %d: %s", i, RequestPath(r), rec.Code, rec.Body.String())
+		}
+	}
+	return nil
+}

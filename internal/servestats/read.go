@@ -1,0 +1,159 @@
+package servestats
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Record is one parsed request record.
+type Record struct {
+	// Seq is the recorder's monotone emission index (1-based).
+	Seq int64
+	// Endpoint is the request class: "lookup", "khop" or "walk".
+	Endpoint string
+	// Vertex is the requested vertex id.
+	Vertex int64
+	// Part is the part the request routed to under the serving view, -1
+	// when the request never resolved (bad vertex).
+	Part int
+	// Version is the assignment view version that answered the request, 0
+	// when no view was consulted.
+	Version int
+	// Status is the HTTP status returned.
+	Status int
+	// LatencyUS is the request's wall-clock service time in microseconds.
+	LatencyUS float64
+}
+
+// Log is a fully parsed request log.
+type Log struct {
+	Records []Record
+	// Truncated reports that the final line was torn — the serving process
+	// died mid-write (the Recorder writes whole lines, so only the last
+	// line of a crashed run can be damaged). The parsed prefix is complete
+	// and usable.
+	Truncated bool
+}
+
+// StripWallClock zeroes every host-dependent field — only LatencyUS —
+// leaving the deterministic structure (seq, endpoint, vertex, routing,
+// version, status). Two seeded runs of the same workload strip to
+// identical logs; that is the routing-trace determinism CI pins.
+func (l *Log) StripWallClock() {
+	for i := range l.Records {
+		l.Records[i].LatencyUS = 0
+	}
+}
+
+// jsonRecord is the wire shape of one request line. Fields marshal in
+// declaration order, so recorder output is layout-stable.
+type jsonRecord struct {
+	V         int     `json:"v"`
+	Type      string  `json:"type"`
+	Seq       int64   `json:"seq"`
+	Endpoint  string  `json:"endpoint"`
+	Vertex    int64   `json:"vertex"`
+	Part      int     `json:"part"`
+	Version   int     `json:"version"`
+	Status    int     `json:"status"`
+	LatencyUS float64 `json:"latency_us"`
+}
+
+// maxLine bounds one JSONL line, matching the traceview/resview readers.
+const maxLine = 16 << 20
+
+// Read parses a JSONL request log. It follows traceview.Read's tolerance
+// contract exactly: only a torn final line is tolerated (flagged via
+// Log.Truncated), interior damage or an all-garbage first line is a hard
+// error, and unknown schema versions are rejected.
+func Read(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	l := &Log{}
+	type bad struct {
+		line int
+		err  error
+	}
+	var pending *bad
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if pending != nil {
+			return nil, fmt.Errorf("servestats: line %d: %w (not the final line, refusing to skip)", pending.line, pending.err)
+		}
+		rec, err := parseLine(line)
+		if err != nil {
+			pending = &bad{lineNo, err}
+			continue
+		}
+		l.Records = append(l.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("servestats: read: %w", err)
+	}
+	if pending != nil {
+		// A torn tail is only tolerable when it follows a usable prefix; if
+		// the very first line is garbage the file is not a request log at
+		// all, and "empty but truncated" would hide that from callers.
+		if len(l.Records) == 0 {
+			return nil, fmt.Errorf("servestats: line %d: %w (no valid request records precede it)", pending.line, pending.err)
+		}
+		l.Truncated = true
+	}
+	return l, nil
+}
+
+// ReadFile parses the JSONL request log at path.
+func ReadFile(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	l, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return l, nil
+}
+
+func parseLine(line string) (Record, error) {
+	var jr jsonRecord
+	if err := json.Unmarshal([]byte(line), &jr); err != nil {
+		return Record{}, err
+	}
+	if jr.Type != "request" {
+		return Record{}, fmt.Errorf("record type %q, want \"request\"", jr.Type)
+	}
+	if jr.V != SchemaVersion {
+		return Record{}, fmt.Errorf("request record schema v%d, this reader handles v%d", jr.V, SchemaVersion)
+	}
+	switch jr.Endpoint {
+	case EndpointLookup, EndpointKHop, EndpointWalk:
+	default:
+		return Record{}, fmt.Errorf("unknown endpoint %q", jr.Endpoint)
+	}
+	if jr.LatencyUS < 0 {
+		return Record{}, fmt.Errorf("negative latency_us %v", jr.LatencyUS)
+	}
+	if jr.Part < -1 {
+		return Record{}, fmt.Errorf("part %d, want >= -1", jr.Part)
+	}
+	return Record{
+		Seq:       jr.Seq,
+		Endpoint:  jr.Endpoint,
+		Vertex:    jr.Vertex,
+		Part:      jr.Part,
+		Version:   jr.Version,
+		Status:    jr.Status,
+		LatencyUS: jr.LatencyUS,
+	}, nil
+}

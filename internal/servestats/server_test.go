@@ -1,0 +1,325 @@
+package servestats
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"bpart/internal/gio"
+)
+
+func newTestServer(t *testing.T, n, k int, logSink *bytes.Buffer) (*Server, *Backend) {
+	t.Helper()
+	g := ringGraph(n)
+	b, err := NewBackend(g, blockAssignment(n, k), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec *Recorder
+	if logSink != nil {
+		rec = NewRecorder(k, logSink, nil)
+	}
+	return &Server{B: b, R: rec}, b
+}
+
+func getJSON(t *testing.T, mux *http.ServeMux, path string, out any) int {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	if out != nil && rec.Code == 200 {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s: bad JSON %q: %v", path, rec.Body.String(), err)
+		}
+	}
+	return rec.Code
+}
+
+func TestServerEndpoints(t *testing.T) {
+	var buf bytes.Buffer
+	s, _ := newTestServer(t, 16, 4, &buf)
+	mux := s.Mux()
+
+	var lr LookupResponse
+	if code := getJSON(t, mux, "/v1/lookup?v=5", &lr); code != 200 {
+		t.Fatalf("lookup = %d", code)
+	}
+	if lr.Vertex != 5 || lr.Part != 1 || lr.Version != 1 {
+		t.Fatalf("lookup = %+v", lr)
+	}
+
+	var kr KHopResponse
+	if code := getJSON(t, mux, "/v1/khop?v=0&hops=2&limit=2", &kr); code != 200 {
+		t.Fatalf("khop = %d", code)
+	}
+	if kr.Count != 4 || len(kr.Sample) != 2 || kr.Version != 1 {
+		t.Fatalf("khop = %+v", kr)
+	}
+
+	var wr WalkResponse
+	if code := getJSON(t, mux, "/v1/walk?v=3&steps=20&alpha=0.1&seed=9", &wr); code != 200 {
+		t.Fatalf("walk = %d", code)
+	}
+	if wr.Visited != 20 || wr.Version != 1 || wr.Part != 0 {
+		t.Fatalf("walk = %+v", wr)
+	}
+	var wr2 WalkResponse
+	getJSON(t, mux, "/v1/walk?v=3&steps=20&alpha=0.1&seed=9", &wr2)
+	if wr2.End != wr.End {
+		t.Fatalf("seeded walk not reproducible over HTTP: %d vs %d", wr2.End, wr.End)
+	}
+
+	for _, path := range []string{
+		"/v1/lookup", "/v1/lookup?v=banana", "/v1/lookup?v=99",
+		"/v1/khop?v=0&hops=0", "/v1/khop?v=0&limit=-1",
+		"/v1/walk?v=0&steps=0", "/v1/walk?v=0&alpha=2", "/v1/walk?v=0&seed=x",
+	} {
+		if code := getJSON(t, mux, path, nil); code != 400 {
+			t.Errorf("%s = %d, want 400", path, code)
+		}
+	}
+
+	var st StatzResponse
+	if code := getJSON(t, mux, "/v1/statz", &st); code != 200 {
+		t.Fatalf("statz = %d", code)
+	}
+	if st.Version != 1 || st.K != 4 || st.Inflight != 0 || len(st.Window) != len(Endpoints) {
+		t.Fatalf("statz = %+v", st)
+	}
+
+	if err := s.R.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 good + 8 bad requests recorded (statz is not a serving endpoint).
+	if len(l.Records) != 12 {
+		t.Fatalf("recorded %d requests, want 12", len(l.Records))
+	}
+}
+
+func TestServerSwapByBodyAndScheme(t *testing.T) {
+	s, b := newTestServer(t, 12, 2, nil)
+	mux := s.Mux()
+
+	// Upload an assignment body in the gio text format.
+	var body bytes.Buffer
+	if err := gio.WriteAssignment(&body, blockAssignment(12, 3), 3); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/swapz", &body))
+	if rec.Code != 200 {
+		t.Fatalf("swap by body = %d: %s", rec.Code, rec.Body.String())
+	}
+	var sr SwapResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Version != 2 || sr.K != 3 || b.View().K() != 3 {
+		t.Fatalf("swap = %+v, backend k=%d", sr, b.View().K())
+	}
+
+	// Repartition callback path.
+	s.Repartition = func(scheme string, k int) ([]int, error) {
+		if scheme == "fail" {
+			return nil, fmt.Errorf("scheme exploded")
+		}
+		return blockAssignment(12, k), nil
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/swapz?scheme=Hash&k=4", nil))
+	if rec.Code != 200 {
+		t.Fatalf("swap by scheme = %d: %s", rec.Code, rec.Body.String())
+	}
+	if v := b.View(); v.Version() != 3 || v.K() != 4 {
+		t.Fatalf("backend after scheme swap = v%d k%d", v.Version(), v.K())
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/swapz?scheme=fail", nil))
+	if rec.Code != 422 {
+		t.Fatalf("failing repartition = %d", rec.Code)
+	}
+	// GET is rejected; a bad body is rejected.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/swapz", nil))
+	if rec.Code != 405 {
+		t.Fatalf("GET swap = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/swapz", strings.NewReader("junk")))
+	if rec.Code != 400 {
+		t.Fatalf("junk swap body = %d", rec.Code)
+	}
+}
+
+// TestSeededRunDeterministicRouting is the acceptance criterion: the same
+// seeded workload against the same assignment produces the same request
+// stream and per-part routing — the wall-clock-stripped logs are
+// identical, record for record.
+func TestSeededRunDeterministicRouting(t *testing.T) {
+	run := func() []Record {
+		var buf bytes.Buffer
+		s, _ := newTestServer(t, 64, 4, &buf)
+		reqs, err := Workload{
+			Seed: 1234, Vertices: 64, Requests: 300, ZipfS: 1.0,
+			LookupW: 2, KHopW: 1, WalkW: 1,
+		}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Play(reqs); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.R.Close(); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.StripWallClock()
+		return l.Records
+	}
+	a, b := run(), run()
+	if len(a) != 300 {
+		t.Fatalf("run recorded %d requests, want 300", len(a))
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("seeded runs produced different routing traces")
+	}
+	// And the trace reconciles exactly against the assignment.
+	attrib, err := Attribute(&Log{Records: a}, blockAssignment(64, 4), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, row := range attrib {
+		total += row.Requests
+	}
+	if total != 300 {
+		t.Fatalf("attribution covers %d of 300 requests", total)
+	}
+}
+
+// TestHotSwapUnderLoad is the hot-swap acceptance criterion: an atomic
+// flip under concurrent load completes with zero failed requests, and
+// every response is attributable to exactly one assignment version — its
+// reported part matches that version's assignment, never a mix.
+func TestHotSwapUnderLoad(t *testing.T) {
+	const n = 64
+	partsV1 := blockAssignment(n, 2)
+	partsV2 := make([]int, n) // reversed blocks, different k
+	for i := range partsV2 {
+		partsV2[i] = (n - 1 - i) * 4 / n
+	}
+
+	var buf bytes.Buffer
+	g := ringGraph(n)
+	b, err := NewBackend(g, partsV1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(2, &buf, nil)
+	s := &Server{B: b, R: rec}
+	mux := s.Mux()
+
+	type obs struct {
+		vertex  int64
+		part    int
+		version int
+		code    int
+	}
+	const workers, perWorker = 8, 200
+	results := make([][]obs, workers)
+	var start sync.WaitGroup
+	start.Add(1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start.Wait()
+			for i := 0; i < perWorker; i++ {
+				if w == 0 && i == perWorker/2 {
+					// Mid-stream, one worker triggers the swap so load
+					// genuinely straddles the flip.
+					if _, err := b.Swap(partsV2, 4); err != nil {
+						t.Errorf("swap: %v", err)
+					}
+				}
+				v := (w*perWorker + i) % n
+				r := httptest.NewRecorder()
+				mux.ServeHTTP(r, httptest.NewRequest("GET", fmt.Sprintf("/v1/lookup?v=%d", v), nil))
+				var lr LookupResponse
+				if r.Code == 200 {
+					if err := json.Unmarshal(r.Body.Bytes(), &lr); err != nil {
+						t.Errorf("bad lookup body: %v", err)
+					}
+				}
+				results[w] = append(results[w], obs{int64(v), lr.Part, lr.Version, r.Code})
+			}
+		}(w)
+	}
+	start.Done()
+	wg.Wait()
+
+	var v1, v2 int
+	for _, rs := range results {
+		for _, o := range rs {
+			if o.code != 200 {
+				t.Fatalf("request failed with %d during swap", o.code)
+			}
+			switch o.version {
+			case 1:
+				v1++
+				if want := partsV1[o.vertex]; o.part != want {
+					t.Fatalf("v1 response routed vertex %d to part %d, assignment says %d", o.vertex, o.part, want)
+				}
+			case 2:
+				v2++
+				if want := partsV2[o.vertex]; o.part != want {
+					t.Fatalf("v2 response routed vertex %d to part %d, assignment says %d", o.vertex, o.part, want)
+				}
+			default:
+				t.Fatalf("response attributed to version %d", o.version)
+			}
+		}
+	}
+	if v1+v2 != workers*perWorker {
+		t.Fatalf("version census %d+%d covers %d of %d responses", v1, v2, v1+v2, workers*perWorker)
+	}
+	if v2 == 0 {
+		t.Fatal("no response observed the new version; swap never took effect under load")
+	}
+
+	// The request log reconciles per version too: each version's records
+	// attribute cleanly against that version's assignment.
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records) != workers*perWorker {
+		t.Fatalf("log has %d records, want %d", len(l.Records), workers*perWorker)
+	}
+	if _, err := Attribute(l, partsV1, 2, 1); err != nil {
+		t.Fatalf("v1 attribution: %v", err)
+	}
+	if _, err := Attribute(l, partsV2, 4, 2); err != nil {
+		t.Fatalf("v2 attribution: %v", err)
+	}
+	rep := Summarize(l)
+	if len(rep.Versions) != 2 {
+		t.Fatalf("version census = %+v", rep.Versions)
+	}
+}

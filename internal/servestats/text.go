@@ -1,0 +1,86 @@
+package servestats
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteText renders the report as the terminal tables `tracestat serve`
+// prints: per-endpoint percentiles, per-part share/tail, the version
+// census, and (when attribution is available) the pressure table tying
+// request share to part size. Errors from w are returned — the report may
+// be piped somewhere that matters.
+func WriteText(w io.Writer, rep *Report, attrib []Attribution) error {
+	if _, err := fmt.Fprintf(w, "Serving report: %d requests, %d routed", rep.Total, rep.Routed); err != nil {
+		return err
+	}
+	if rep.Truncated {
+		if _, err := io.WriteString(w, "  [log truncated: torn final line]"); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n\nPer endpoint:\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-8s %8s %6s %10s %10s %10s %10s\n",
+		"endpoint", "requests", "errors", "p50", "p95", "p99", "p999"); err != nil {
+		return err
+	}
+	for _, e := range rep.Endpoints {
+		if _, err := fmt.Fprintf(w, "  %-8s %8d %6d %10s %10s %10s %10s\n",
+			e.Endpoint, e.Count, e.Errors,
+			fmtUS(e.P50), fmtUS(e.P95), fmtUS(e.P99), fmtUS(e.P999)); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\nPer part:\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-5s %8s %7s %10s %10s %10s\n",
+		"part", "requests", "share", "p50", "p99", "p999"); err != nil {
+		return err
+	}
+	for _, p := range rep.Parts {
+		if _, err := fmt.Fprintf(w, "  %-5d %8d %6.1f%% %10s %10s %10s\n",
+			p.Part, p.Count, 100*p.Share,
+			fmtUS(p.P50), fmtUS(p.P99), fmtUS(p.P999)); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\nVersions:\n"); err != nil {
+		return err
+	}
+	for _, v := range rep.Versions {
+		if _, err := fmt.Fprintf(w, "  v%-3d %8d requests\n", v.Version, v.Count); err != nil {
+			return err
+		}
+	}
+	if len(attrib) > 0 {
+		if _, err := io.WriteString(w, "\nTail attribution (request share vs part size):\n"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  %-5s %8s %7s %8s %9s %10s\n",
+			"part", "requests", "share", "v-share", "pressure", "p99"); err != nil {
+			return err
+		}
+		for _, a := range attrib {
+			if _, err := fmt.Fprintf(w, "  %-5d %8d %6.1f%% %7.1f%% %8.2fx %10s\n",
+				a.Part, a.Requests, 100*a.Share, 100*a.VShare, a.Pressure, fmtUS(a.P99)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fmtUS renders a microsecond latency human-first.
+func fmtUS(us float64) string {
+	switch {
+	case us >= 1e6:
+		return fmt.Sprintf("%.2fs", us/1e6)
+	case us >= 1e3:
+		return fmt.Sprintf("%.1fms", us/1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", us)
+	}
+}

@@ -101,9 +101,14 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
-// Quantile estimates the q-quantile (q in [0,1]) as the upper bound of the
-// bucket holding that rank, clamped to the observed min/max so p0 and p100
-// are exact. A histogram with no observations reports 0.
+// Quantile estimates the q-quantile (q in [0,1]) by log-bucket
+// interpolation: the rank's bucket is located by cumulative count, and the
+// estimate is placed geometrically within it — est = lower·2^f where f is
+// the rank's fraction through the bucket, matching the buckets' power-of-2
+// spacing. The underflow and overflow buckets have no finite span to
+// interpolate over, so they report their clamped edge instead. Estimates
+// are clamped to the observed min/max, making p0 and p100 exact. A nil or
+// empty histogram reports 0.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
@@ -129,17 +134,29 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 	}
 	var cum int64
 	for i, n := range h.buckets {
+		prev := cum
 		cum += n
-		if cum >= rank {
-			est := histBucketUpper(i)
-			if est < h.min {
-				est = h.min
-			}
-			if est > h.max {
-				est = h.max
-			}
-			return est
+		if cum < rank {
+			continue
 		}
+		var est float64
+		if i == 0 || i == histBuckets-1 {
+			// No finite lower (underflow) or upper (overflow) edge to
+			// interpolate against; the min/max clamp below does the work.
+			est = histBucketUpper(i)
+		} else {
+			// rank sits (rank-prev)/n of the way through (lower, upper],
+			// and upper = 2·lower, so interpolate on the log scale.
+			frac := float64(rank-prev) / float64(n)
+			est = histBucketUpper(i-1) * math.Exp2(frac)
+		}
+		if est < h.min {
+			est = h.min
+		}
+		if est > h.max {
+			est = h.max
+		}
+		return est
 	}
 	return h.max
 }

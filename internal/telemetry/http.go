@@ -4,18 +4,52 @@ import (
 	"expvar"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 )
 
+// Health is the liveness/readiness state behind DebugMux's /healthz and
+// /readyz probes. Liveness is implicit (the process answered); readiness
+// is an explicit flag the owner flips once startup work — loading a graph,
+// reading an assignment — has finished, and may flip back off during a
+// drain. All methods are nil-safe: a nil *Health is always ready, so
+// callers with no startup phase (cmd/bpart, cmd/bench) pass nothing.
+type Health struct {
+	ready atomic.Bool
+}
+
+// NewHealth returns a Health that is not yet ready.
+func NewHealth() *Health { return &Health{} }
+
+// SetReady flips the readiness flag.
+func (h *Health) SetReady(ready bool) {
+	if h != nil {
+		h.ready.Store(ready)
+	}
+}
+
+// Ready reports readiness (true for a nil Health).
+func (h *Health) Ready() bool {
+	return h == nil || h.ready.Load()
+}
+
 // DebugMux returns an HTTP mux exposing the standard Go profiling surface
-// plus the registry's metrics:
+// plus the registry's metrics and the health probes:
 //
 //	/debug/pprof/...   CPU, heap, goroutine, block, mutex profiles
 //	/metrics           Prometheus text exposition of reg
 //	/debug/vars        expvar JSON including reg's snapshot under "bpart"
+//	/healthz           200 "ok" always — the process is alive
+//	/readyz            200 "ready" once health says so, 503 before
 //
-// The CLIs serve it behind --pprof addr; nothing is registered on the
+// An optional *Health gates /readyz; with none (or nil) the mux is ready
+// from the start, which suits the CLIs that only serve diagnostics. The
+// CLIs serve it behind --pprof addr; nothing is registered on the
 // process-global http.DefaultServeMux.
-func DebugMux(reg *Registry) *http.ServeMux {
+func DebugMux(reg *Registry, health ...*Health) *http.ServeMux {
+	var h *Health
+	if len(health) > 0 {
+		h = health[len(health)-1]
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -26,6 +60,19 @@ func DebugMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		w.Write([]byte(expvarJSON(reg)))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !h.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("not ready\n"))
+			return
+		}
+		w.Write([]byte("ready\n"))
 	})
 	return mux
 }

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	mux := DebugMux(NewRegistry())
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/healthz = %d, want 200", rec.Code)
+	}
+	body, _ := io.ReadAll(rec.Result().Body)
+	if strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("/healthz body = %q", body)
+	}
+}
+
+func TestReadyzGatedByHealth(t *testing.T) {
+	h := NewHealth()
+	mux := DebugMux(NewRegistry(), h)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("/readyz before SetReady = %d, want 503", rec.Code)
+	}
+
+	h.SetReady(true)
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/readyz after SetReady = %d, want 200", rec.Code)
+	}
+	body, _ := io.ReadAll(rec.Result().Body)
+	if strings.TrimSpace(string(body)) != "ready" {
+		t.Fatalf("/readyz body = %q", body)
+	}
+
+	// Readiness can flip back off (drain).
+	h.SetReady(false)
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("/readyz after drain = %d, want 503", rec.Code)
+	}
+}
+
+func TestReadyzWithoutHealthIsReady(t *testing.T) {
+	for name, mux := range map[string]*http.ServeMux{
+		"no health arg":  DebugMux(NewRegistry()),
+		"nil health arg": DebugMux(NewRegistry(), nil),
+	} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s: /readyz = %d, want 200", name, rec.Code)
+		}
+	}
+}
+
+func TestNilHealthSafe(t *testing.T) {
+	var h *Health
+	h.SetReady(true) // must not panic
+	if !h.Ready() {
+		t.Fatal("nil Health not ready")
+	}
+	h2 := NewHealth()
+	if h2.Ready() {
+		t.Fatal("fresh Health already ready")
+	}
+}
