@@ -32,6 +32,11 @@
 // scaling-probe replays) is written for cmd/tracestat's `resources`
 // subcommand, and the -json artifact grows a resources section with the
 // measured speedup curve; -widths overrides the scaling ladder.
+// With -workers N, every iteration engine runs its supersteps on an
+// N-worker goroutine pool; outputs and every deterministic artifact are
+// bit-identical at any setting, so the flag changes wall time only. The
+// "Parallel Speedup" experiment and the artifact's parallel section sweep
+// their own -widths ladder regardless of -workers.
 package main
 
 import (
@@ -76,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	pprofAddr := fs.String("pprof", "", "serve /debug/pprof, /metrics and /debug/vars on this address")
 	resPath := fs.String("resources", "", "write runtime resource records (JSONL, see cmd/tracestat resources) to this file and add a resources section to the -json artifact")
 	widthsFlag := fs.String("widths", "", "comma-separated scaling-probe worker ladder (default with -resources: powers of two up to NumCPU; otherwise 1,2,4)")
+	workers := fs.Int("workers", 0, "superstep worker-pool size for every iteration engine (0 or 1 = sequential supersteps; outputs are bit-identical at any setting)")
 	fs.Var(&ids, "id", "experiment ID to run (repeatable; default all)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -159,7 +165,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, id := range ids {
 		selected[id] = true
 	}
-	opt := bpart.ExperimentOptions{Scale: *scale, Walkers: *walkers, Tracer: tracer, Metrics: reg, Faults: faults, Widths: widths}
+	opt := bpart.ExperimentOptions{Scale: *scale, Walkers: *walkers, Tracer: tracer, Metrics: reg, Faults: faults, Widths: widths, Workers: *workers}
 	if probe != nil {
 		opt.Probe = probe
 	}

@@ -350,3 +350,58 @@ func TestBenchBadWidths(t *testing.T) {
 		t.Fatalf("no diagnostic: %s", stderr.String())
 	}
 }
+
+// The -workers flag changes scheduling only: a deterministic artifact
+// written at any worker-pool size is byte-identical to the sequential
+// one, and the artifact's parallel section (its own fixed ladder) proves
+// every width matched the 1-worker run.
+func TestBenchParallelWorkersByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(workers string) []byte {
+		t.Helper()
+		jsonPath := filepath.Join(dir, "bench_w"+workers+".json")
+		var stdout, stderr bytes.Buffer
+		code := run([]string{
+			"-scale", "0.02", "-id", "Fig 3",
+			"-json", jsonPath, "-deterministic", "-workers", workers,
+		}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("bench -workers %s exited %d: %s", workers, code, stderr.String())
+		}
+		data, err := os.ReadFile(jsonPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	ref := runOnce("1")
+	for _, w := range []string{"2", "4"} {
+		if got := runOnce(w); !bytes.Equal(got, ref) {
+			t.Fatalf("-workers %s artifact differs from -workers 1:\n--- 1 ---\n%.400s\n--- %s ---\n%.400s", w, ref, w, got)
+		}
+	}
+	var art struct {
+		Parallel []struct {
+			Graph     string  `json:"graph"`
+			Engine    string  `json:"engine"`
+			Workers   int     `json:"workers"`
+			WallUS    float64 `json:"wall_us"`
+			Speedup   float64 `json:"speedup"`
+			Identical bool    `json:"identical"`
+		} `json:"parallel"`
+	}
+	if err := json.Unmarshal(ref, &art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Parallel) != 12 { // 2 schemes × 2 engines × widths {1,2,4}
+		t.Fatalf("parallel section has %d rows, want 12", len(art.Parallel))
+	}
+	for _, p := range art.Parallel {
+		if !p.Identical {
+			t.Fatalf("row %+v failed its bit-identity check", p)
+		}
+		if p.WallUS != 0 || p.Speedup != 0 {
+			t.Fatalf("wall clock survived -deterministic: %+v", p)
+		}
+	}
+}

@@ -32,7 +32,8 @@
 // runs — a PageRank recovery demo over the fresh partition, and the
 // -timeline walk when requested — then prints each run's RecoveryStats;
 // -checkpoint-every overrides (or, without -fault, enables) superstep
-// checkpointing.
+// checkpointing. -workers N runs the engine supersteps on an N-worker
+// goroutine pool; results are bit-identical to the sequential run.
 package main
 
 import (
@@ -65,6 +66,7 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "print telemetry counters (Prometheus text format) on exit")
 		pprofAddr = flag.String("pprof", "", "serve /debug/pprof, /metrics and /debug/vars on this address (e.g. localhost:6060)")
 		resPath   = flag.String("resources", "", "write runtime resource records (JSONL, see `tracestat resources`) to this file")
+		workers   = flag.Int("workers", 0, "superstep worker-pool size for the engine runs (0 or 1 = sequential; results are bit-identical at any setting)")
 	)
 	flag.Parse()
 
@@ -178,7 +180,7 @@ func main() {
 		fmt.Printf("assignment written to %s\n", *outPath)
 	}
 	if faults != nil {
-		if err := runFaulted(g, a, faults, *k, tel); err != nil {
+		if err := runFaulted(g, a, faults, *k, *workers, tel); err != nil {
 			fatal(err)
 		}
 	}
@@ -215,11 +217,12 @@ func loadFaultSpec(path string, every int) (*bpart.FaultSpec, error) {
 // partition and prints the recovery ledger — the CLI view of the
 // RecoveryStats the BENCH artifact records. Recovery is exact, so the
 // ranks themselves need no caveat.
-func runFaulted(g *bpart.Graph, a *bpart.Assignment, spec *bpart.FaultSpec, k int, tel *telemetryState) error {
+func runFaulted(g *bpart.Graph, a *bpart.Assignment, spec *bpart.FaultSpec, k, workers int, tel *telemetryState) error {
 	e, err := bpart.NewIterationEngine(g, a, bpart.DefaultCostModel())
 	if err != nil {
 		return err
 	}
+	e.Cluster().SetWorkers(workers)
 	tel.instrument(e)
 	proj := spec.ForMachines(k)
 	ctl, err := bpart.EnableFaults(e, proj)

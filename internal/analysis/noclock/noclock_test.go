@@ -11,6 +11,14 @@ func TestSeededViolations(t *testing.T) {
 	analysistest.Run(t, "../testdata/noclock/core", noclock.Analyzer)
 }
 
+// TestExperimentsStopwatchRoute pins the experiments idiom: raw time.Now
+// / time.Since / time.Sleep are flagged inside the experiments scope,
+// while wall-clock measurement routed through telemetry.NewStopwatch (the
+// parallel speedup and scaling harnesses' route) stays clean.
+func TestExperimentsStopwatchRoute(t *testing.T) {
+	analysistest.Run(t, "../testdata/noclock/experiments", noclock.Analyzer)
+}
+
 func TestOutOfScopePackageIsExempt(t *testing.T) {
 	analysistest.Run(t, "../testdata/noclock/other", noclock.Analyzer)
 }

@@ -1,0 +1,43 @@
+// Package experiments mirrors bpart/internal/experiments: a deterministic
+// package that nonetheless publishes wall-clock columns (scaling curves,
+// the parallel speedup table). Raw time reads are flagged like in any
+// deterministic package; the sanctioned route is telemetry.NewStopwatch —
+// the observability boundary owns the clock, the experiment only reads
+// the stopwatch — which must stay clean.
+package experiments
+
+import (
+	"time"
+
+	"bpart/internal/telemetry"
+)
+
+// MeasureRaw times a replay straight off the host clock — exactly the
+// leak the parallel speedup harness must not contain.
+func MeasureRaw() float64 {
+	start := time.Now() // want `wall-clock read time.Now in a deterministic package`
+	replay()
+	return time.Since(start).Seconds() // want `wall-clock read time.Since in a deterministic package`
+}
+
+// Backoff couples the sweep's pacing to the host scheduler.
+func Backoff() {
+	time.Sleep(time.Millisecond) // want `wall-clock read time.Sleep in a deterministic package`
+}
+
+// MeasureSanctioned is the speedup harness's idiom: wall time flows
+// through telemetry.Stopwatch, the designated exempt boundary, and no
+// finding fires.
+func MeasureSanctioned() float64 {
+	sw := telemetry.NewStopwatch()
+	replay()
+	return sw.Seconds() * 1e6
+}
+
+// SimulatedOnly derives its column from pure Duration arithmetic: exact,
+// host-independent, no findings.
+func SimulatedOnly(us float64) time.Duration {
+	return time.Duration(us) * time.Microsecond
+}
+
+func replay() {}

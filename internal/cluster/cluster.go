@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"bpart/internal/telemetry"
 )
@@ -84,6 +85,12 @@ type Cluster struct {
 	reg   *telemetry.Registry
 	probe telemetry.PhaseProbe
 	iter  int // supersteps finished, for span numbering
+
+	// workers sizes the bounded goroutine pool RunTasks executes superstep
+	// work on. 1 (the default) runs every task inline on the caller — the
+	// sequential mode whose outputs every parallel run must reproduce
+	// bit-for-bit.
+	workers int
 
 	// commMatrix enables per-superstep src→dst message matrix capture
 	// (Counters.Pairs). Off by default: the K×K matrix costs one write per
@@ -172,6 +179,64 @@ func (c *Cluster) SetCommMatrix(on bool) { c.commMatrix = on }
 
 // CommMatrixEnabled reports whether src→dst matrix capture is on.
 func (c *Cluster) CommMatrixEnabled() bool { return c.commMatrix }
+
+// SetWorkers sizes the bounded worker pool each superstep's vertex work
+// runs on (RunTasks). w < 1 is clamped to 1, the sequential default. The
+// pool size is an execution detail, never an output: engines must combine
+// per-task results in fixed task order, so every result and every counter
+// is bit-identical at any worker count. Set it before a run starts; the
+// engines read it once per superstep phase.
+func (c *Cluster) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	c.workers = w
+}
+
+// Workers returns the worker-pool size (>= 1).
+func (c *Cluster) Workers() int {
+	if c.workers < 1 {
+		return 1
+	}
+	return c.workers
+}
+
+// RunTasks executes fn(task) for every task in [0, ntasks) on the
+// cluster's worker pool. With Workers() == 1 the tasks run inline on the
+// calling goroutine in ascending order; with W > 1, min(W, ntasks)
+// goroutines drain the tasks through an atomic cursor, so scheduling order
+// is arbitrary. Callers must therefore confine each task's writes to
+// task-private state and combine results in fixed task order afterwards —
+// that contract is what keeps parallel runs bit-identical to sequential
+// ones.
+func (c *Cluster) RunTasks(ntasks int, fn func(task int)) {
+	w := c.Workers()
+	if w > ntasks {
+		w = ntasks
+	}
+	if w <= 1 {
+		for t := 0; t < ntasks; t++ {
+			fn(t)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(cursor.Add(1)) - 1
+				if t >= ntasks {
+					return
+				}
+				fn(t)
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // NumMachines returns the machine count.
 func (c *Cluster) NumMachines() int { return c.numMachines }
@@ -500,6 +565,14 @@ func (c *Cluster) observe(st *IterationStats, phase string) {
 		attrs := []telemetry.Attr{
 			telemetry.Int("iteration", iter),
 			telemetry.Int("machines", c.numMachines),
+		}
+		// The worker count is attached only when the pool is real, so a
+		// sequential run's trace stays byte-identical to one recorded
+		// before the parallel mode existed (the committed baselines).
+		if c.Workers() > 1 {
+			attrs = append(attrs, telemetry.Int("workers", c.Workers()))
+		}
+		attrs = append(attrs,
 			telemetry.Float("time_us", st.Time),
 			telemetry.Float("waiting_us_total", waiting),
 			telemetry.Any("compute", st.Compute),
@@ -509,7 +582,7 @@ func (c *Cluster) observe(st *IterationStats, phase string) {
 			telemetry.Any("edges", st.Work.Edges),
 			telemetry.Any("vertices", st.Work.Vertices),
 			telemetry.Any("messages", st.Work.Messages),
-		}
+		)
 		if st.Work.Pairs != nil {
 			attrs = append(attrs, telemetry.Any("pairs", st.Work.Pairs))
 		}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"bpart/internal/cluster"
 	"bpart/internal/graph"
@@ -28,87 +29,41 @@ type SSSPResult struct {
 }
 
 // SSSP runs frontier-based Bellman–Ford over out-edges from source with
-// the synthetic EdgeWeight weights. Each BSP iteration relaxes the
-// out-edges of the vertices whose distance improved in the previous one.
+// the synthetic EdgeWeight weights. Each BSP iteration is one push-mode
+// edge-map relaxing the out-edges of the vertices whose distance improved
+// in the previous one; distances are non-negative, so they serve directly
+// as the kernel's min-combine keys.
 func (e *Engine) SSSP(source graph.VertexID) (*SSSPResult, error) {
 	n := e.g.NumVertices()
 	if int(source) >= n {
 		return nil, fmt.Errorf("engine: SSSP source %d out of range", source)
 	}
-	k := e.cl.NumMachines()
 	const unreached = int64(-1)
 	dist := make([]int64, n)
 	for i := range dist {
 		dist[i] = unreached
 	}
 	dist[source] = 0
-	active := make([]bool, n)
-	active[source] = true
-	// Machine-private proposal buffers.
-	bufs := make([][]int64, k)
-	for m := range bufs {
-		bufs[m] = make([]int64, n)
+	frontier := SubsetFromVertices(n, []graph.VertexID{source})
+	st := e.newKernelState()
+	spec := &edgeMapSpec{
+		value: func(src, dst graph.VertexID) uint64 {
+			return uint64(dist[src] + EdgeWeight(src, dst))
+		},
+		cur: func(v graph.VertexID) uint64 {
+			if dist[v] < 0 {
+				return unsetKey
+			}
+			return uint64(dist[v])
+		},
+		apply: func(v graph.VertexID, key uint64) { dist[v] = int64(key) },
 	}
 	res := &SSSPResult{}
-	for anyActive := true; anyActive; {
+	for frontier.Len() > 0 {
 		w := e.cl.NewCounters()
-		e.cl.Parallel(func(m int) {
-			buf := bufs[m]
-			for i := range buf {
-				buf[i] = unreached
-			}
-			var edges, msgs, verts int64
-			var prow []int64
-			if w.Pairs != nil {
-				prow = w.Pairs[m]
-			}
-			for _, v := range e.owned[m] {
-				if !active[v] {
-					continue
-				}
-				verts++
-				base := dist[v]
-				for _, u := range e.g.Neighbors(v) {
-					edges++
-					if o := e.cl.Owner(u); o != m {
-						msgs++
-						if prow != nil {
-							prow[o]++
-						}
-					}
-					cand := base + EdgeWeight(v, u)
-					if buf[u] == unreached || cand < buf[u] {
-						buf[u] = cand
-					}
-				}
-			}
-			w.Edges[m] = edges
-			w.Messages[m] = msgs
-			w.Vertices[m] = verts
-		})
-		nextActive := make([]bool, n)
-		changed := make([]bool, k)
-		mergeParallel(n, k, func(chunk, lo, hi int) {
-			for v := lo; v < hi; v++ {
-				best := dist[v]
-				for m := 0; m < k; m++ {
-					if c := bufs[m][v]; c != unreached && (best == unreached || c < best) {
-						best = c
-					}
-				}
-				if best != dist[v] {
-					dist[v] = best
-					nextActive[v] = true
-					changed[chunk] = true
-				}
-			}
-		})
-		active = nextActive
+		out := e.edgeMap(spec, st, frontier, 0, w)
+		frontier = out.frontier
 		res.Stats.Add(e.cl.FinishIteration(w))
-		anyActive = false
-		for _, c := range changed {
-			anyActive = anyActive || c
-		}
 	}
 	res.Dist = dist
 	for _, d := range dist {
@@ -130,7 +85,10 @@ type KCoreResult struct {
 
 // KCore computes the k-core of the undirected closure by iterative
 // peeling: each BSP round removes every remaining vertex with fewer than
-// kCore remaining (out+in) neighbors, until a fixed point.
+// kCore remaining (out+in) neighbors, until a fixed point. Both the scan
+// and the peel run as fixed shards on the worker pool; degree decrements
+// are atomic adds (commutative integers), so the surviving core and every
+// counter are identical at any worker count.
 func (e *Engine) KCore(kCore int) (*KCoreResult, error) {
 	if kCore < 1 {
 		return nil, fmt.Errorf("engine: k-core with k = %d", kCore)
@@ -139,30 +97,39 @@ func (e *Engine) KCore(kCore int) (*KCoreResult, error) {
 	k := e.cl.NumMachines()
 	tr := e.transpose()
 	alive := make([]bool, n)
-	degree := make([]int, n)
+	degree := make([]int32, n)
 	for v := 0; v < n; v++ {
 		alive[v] = true
-		degree[v] = e.g.OutDegree(graph.VertexID(v)) + tr.OutDegree(graph.VertexID(v))
+		degree[v] = int32(e.g.OutDegree(graph.VertexID(v)) + tr.OutDegree(graph.VertexID(v)))
 	}
 	res := &KCoreResult{}
 	for {
 		w := e.cl.NewCounters()
-		removed := make([][]graph.VertexID, k)
-		e.cl.Parallel(func(m int) {
-			var verts int64
-			for _, v := range e.owned[m] {
-				if alive[v] && degree[v] < kCore {
-					removed[m] = append(removed[m], v)
-				}
+		// Scan: find the sub-threshold survivors. Per-shard removed lists
+		// concatenate in fixed (machine, shard) order, so each machine's
+		// removed list comes out in ascending vertex order.
+		tasks := e.ownedShards()
+		tcs := newTaskCounters(len(tasks), k, false)
+		found := make([][]graph.VertexID, len(tasks))
+		e.cl.RunTasks(len(tasks), func(t int) {
+			ts := tasks[t]
+			var members []graph.VertexID
+			for _, v := range e.owned[ts.m][ts.lo:ts.hi] {
 				if alive[v] {
-					verts++
+					tcs[t].verts++
+					if degree[v] < int32(kCore) {
+						members = append(members, v)
+					}
 				}
 			}
-			w.Vertices[m] = verts
+			found[t] = members
 		})
+		combineCounters(w, tasks, tcs)
+		removed := make([][]graph.VertexID, k)
 		total := 0
-		for m := 0; m < k; m++ {
-			total += len(removed[m])
+		for t, ts := range tasks {
+			removed[ts.m] = append(removed[ts.m], found[t]...)
+			total += len(found[t])
 		}
 		if total == 0 {
 			res.Stats.Add(e.cl.FinishIteration(w))
@@ -175,37 +142,32 @@ func (e *Engine) KCore(kCore int) (*KCoreResult, error) {
 				alive[v] = false
 			}
 		}
-		for m := 0; m < k; m++ {
-			var edges, msgs int64
-			var prow []int64
-			if w.Pairs != nil {
-				prow = w.Pairs[m]
-			}
-			for _, v := range removed[m] {
-				for _, u := range e.g.Neighbors(v) {
-					edges++
-					degree[u]--
-					if o := e.cl.Owner(u); o != m {
-						msgs++
-						if prow != nil {
-							prow[o]++
-						}
-					}
-				}
-				for _, u := range tr.Neighbors(v) {
-					edges++
-					degree[u]--
-					if o := e.cl.Owner(u); o != m {
-						msgs++
-						if prow != nil {
-							prow[o]++
-						}
-					}
-				}
-			}
-			w.Edges[m] += edges
-			w.Messages[m] += msgs
+		lens := make([]int, k)
+		for m := range lens {
+			lens[m] = len(removed[m])
 		}
+		ptasks := shardLists(lens)
+		ptcs := newTaskCounters(len(ptasks), k, w.Pairs != nil)
+		e.cl.RunTasks(len(ptasks), func(t int) {
+			ts, tc := ptasks[t], &ptcs[t]
+			peel := func(v graph.VertexID, ns []graph.VertexID) {
+				for _, u := range ns {
+					tc.edges++
+					atomic.AddInt32(&degree[u], -1)
+					if o := e.cl.Owner(u); o != ts.m {
+						tc.msgs++
+						if tc.prow != nil {
+							tc.prow[o]++
+						}
+					}
+				}
+			}
+			for _, v := range removed[ts.m][ts.lo:ts.hi] {
+				peel(v, e.g.Neighbors(v))
+				peel(v, tr.Neighbors(v))
+			}
+		})
+		combineCounters(w, ptasks, ptcs)
 		res.Stats.Add(e.cl.FinishIteration(w))
 	}
 	res.InCore = alive

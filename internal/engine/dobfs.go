@@ -14,100 +14,43 @@ import (
 // the bulk of the edge work in the two or three "fat" middle levels —
 // the same optimization Gemini's dense mode implements.
 //
+// It is the kernel's auto mode: one edge-map per level with direction
+// switching and early-exit pull scans enabled.
+//
 // Distances are identical to BFS; only the work (and therefore the
 // simulated time) differs.
 func (e *Engine) BFSDirectionOptimizing(source graph.VertexID) (*BFSResult, error) {
-	const alpha, beta = 14, 24
 	n := e.g.NumVertices()
 	if int(source) >= n {
 		return nil, fmt.Errorf("engine: BFS source %d out of range", source)
 	}
-	k := e.cl.NumMachines()
-	tr := e.transpose()
 	dist := make([]int32, n)
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[source] = 0
-	inFrontier := make([]bool, n)
-	inFrontier[source] = true
-	frontierSize := 1
-	// Frontier out-edge volume estimate for the switch heuristic.
-	frontierEdges := e.g.OutDegree(source)
-	m := e.g.NumEdges()
+	frontier := SubsetFromVertices(n, []graph.VertexID{source})
+	frontierEdges := int64(e.g.OutDegree(source))
+	st := e.newKernelState()
+	depth := int32(0)
+	spec := &edgeMapSpec{
+		value: func(src, dst graph.VertexID) uint64 { return uint64(depth) },
+		cur: func(v graph.VertexID) uint64 {
+			if dist[v] < 0 {
+				return unsetKey
+			}
+			return uint64(dist[v])
+		},
+		apply:     func(v graph.VertexID, key uint64) { dist[v] = int32(key) },
+		auto:      true,
+		stopEarly: true,
+	}
 
 	res := &BFSResult{}
-	discovered := make([][]graph.VertexID, k)
-	for depth := int32(1); frontierSize > 0; depth++ {
+	for depth = 1; frontier.Len() > 0; depth++ {
 		w := e.cl.NewCounters()
-		bottomUp := frontierEdges > m/alpha && frontierSize > n/beta
-		e.cl.Parallel(func(mach int) {
-			discovered[mach] = discovered[mach][:0]
-			var edges, msgs, verts int64
-			var prow []int64
-			if w.Pairs != nil {
-				prow = w.Pairs[mach]
-			}
-			if bottomUp {
-				// Every unvisited owned vertex looks backwards for a
-				// frontier parent and stops at the first hit.
-				for _, v := range e.owned[mach] {
-					if dist[v] != -1 {
-						continue
-					}
-					verts++
-					for _, u := range tr.Neighbors(v) {
-						edges++
-						if o := e.cl.Owner(u); o != mach {
-							msgs++
-							if prow != nil {
-								prow[o]++
-							}
-						}
-						if inFrontier[u] {
-							discovered[mach] = append(discovered[mach], v)
-							break
-						}
-					}
-				}
-			} else {
-				for _, v := range e.owned[mach] {
-					if !inFrontier[v] {
-						continue
-					}
-					verts++
-					for _, u := range e.g.Neighbors(v) {
-						edges++
-						if o := e.cl.Owner(u); o != mach {
-							msgs++
-							if prow != nil {
-								prow[o]++
-							}
-						}
-						if dist[u] == -1 {
-							discovered[mach] = append(discovered[mach], u)
-						}
-					}
-				}
-			}
-			w.Edges[mach] = edges
-			w.Messages[mach] = msgs
-			w.Vertices[mach] = verts
-		})
-		for i := range inFrontier {
-			inFrontier[i] = false
-		}
-		frontierSize, frontierEdges = 0, 0
-		for mach := 0; mach < k; mach++ {
-			for _, u := range discovered[mach] {
-				if dist[u] == -1 {
-					dist[u] = depth
-					inFrontier[u] = true
-					frontierSize++
-					frontierEdges += e.g.OutDegree(u)
-				}
-			}
-		}
+		out := e.edgeMap(spec, st, frontier, frontierEdges, w)
+		frontier, frontierEdges = out.frontier, out.frontierEdges
 		res.Stats.Add(e.cl.FinishIteration(w))
 	}
 	res.Dist = dist

@@ -95,9 +95,9 @@ type prSnap struct {
 }
 
 type ccSnap struct {
-	labels []uint32
-	active []bool
-	it     int
+	labels   []uint32
+	frontier []graph.VertexID
+	it       int
 }
 
 type bfsSnap struct {
@@ -171,6 +171,13 @@ func (e *Engine) PageRankUntil(maxIters int, damping, tol float64) (*PRResult, e
 	return e.pageRankPush(maxIters, damping, tol)
 }
 
+// pageRankPush is push-mode PageRank on the parallel kernel. The
+// communication accounting is push-semantics exactly as before — every
+// out-edge is traversed and a cut out-edge costs its owner one message —
+// while the floating-point accumulation is per-destination over the
+// transpose in adjacency order, so each vertex's sum is produced by
+// exactly one chunk and the ranks are bit-identical at any worker count
+// (and across placements).
 func (e *Engine) pageRankPush(iters int, damping, tol float64) (*PRResult, error) {
 	if iters <= 0 {
 		return nil, fmt.Errorf("engine: PageRank iters = %d", iters)
@@ -180,19 +187,17 @@ func (e *Engine) pageRankPush(iters int, damping, tol float64) (*PRResult, error
 	}
 	n := e.g.NumVertices()
 	k := e.cl.NumMachines()
+	tr := e.transpose()
 	ranks := make([]float64, n)
 	for v := range ranks {
 		ranks[v] = 1 / float64(n)
 	}
-	// Machine-private contribution buffers, reused across iterations.
-	bufs := make([][]float64, k)
-	for m := range bufs {
-		bufs[m] = make([]float64, n)
-	}
-	dangling := make([]float64, k)
+	contrib := make([]float64, n)
+	chunks := shardCount(n)
+	dangling := make([]float64, chunks)
+	deltas := make([]float64, chunks)
 
 	res := &PRResult{}
-	deltas := make([]float64, k)
 	it := -1 // the initial snapshot is "superstep -1": restore replays from 0
 	if e.flt != nil {
 		err := e.flt.BeginRun(fault.Hooks{
@@ -216,54 +221,55 @@ func (e *Engine) pageRankPush(iters int, damping, tol float64) (*PRResult, error
 		telemetry.Float("damping", damping),
 		telemetry.Float("tol", tol))
 	for it = 0; it < iters; it++ {
-		w := e.cl.NewCounters()
-		e.cl.Parallel(func(m int) {
-			buf := bufs[m]
-			for i := range buf {
-				buf[i] = 0
-			}
-			dangling[m] = 0
-			var edges, msgs, verts int64
-			var prow []int64
-			if w.Pairs != nil {
-				prow = w.Pairs[m]
-			}
-			for _, v := range e.owned[m] {
-				ns := e.g.Neighbors(v)
-				verts++
-				if len(ns) == 0 {
-					dangling[m] += ranks[v]
-					continue
-				}
-				share := ranks[v] / float64(len(ns))
-				for _, u := range ns {
-					buf[u] += share
-					edges++
-					if o := e.cl.Owner(u); o != m {
-						msgs++
-						if prow != nil {
-							prow[o]++
-						}
-					}
+		// Pre-phase: per-vertex contribution and dangling mass, per-chunk
+		// partials reduced in chunk order.
+		e.chunkMap(n, func(c, lo, hi int) {
+			var dang float64
+			for v := lo; v < hi; v++ {
+				if d := e.g.OutDegree(graph.VertexID(v)); d > 0 {
+					contrib[v] = ranks[v] / float64(d)
+				} else {
+					contrib[v] = 0
+					dang += ranks[v]
 				}
 			}
-			w.Edges[m] = edges
-			w.Messages[m] = msgs
-			w.Vertices[m] = verts
+			dangling[c] = dang
 		})
-		// Merge phase (simulation bookkeeping, charged via the barrier
-		// latency in the cost model): parallel over vertex ranges.
 		var danglingSum float64
 		for _, d := range dangling {
 			danglingSum += d
 		}
 		base := (1-damping)/float64(n) + damping*danglingSum/float64(n)
-		mergeParallel(n, k, func(chunk, lo, hi int) {
+
+		// Push accounting scan: every owned vertex's out-edges, sharded on
+		// the worker pool, integer counters only.
+		w := e.cl.NewCounters()
+		tasks := e.ownedShards()
+		tcs := newTaskCounters(len(tasks), k, w.Pairs != nil)
+		e.cl.RunTasks(len(tasks), func(t int) {
+			ts, tc := tasks[t], &tcs[t]
+			for _, v := range e.owned[ts.m][ts.lo:ts.hi] {
+				tc.verts++
+				for _, u := range e.g.Neighbors(v) {
+					tc.edges++
+					if o := e.cl.Owner(u); o != ts.m {
+						tc.msgs++
+						if tc.prow != nil {
+							tc.prow[o]++
+						}
+					}
+				}
+			}
+		})
+		combineCounters(w, tasks, tcs)
+
+		// Rank update: per-destination sums in transpose adjacency order.
+		e.chunkMap(n, func(c, lo, hi int) {
 			var delta float64
 			for v := lo; v < hi; v++ {
 				var sum float64
-				for m := 0; m < k; m++ {
-					sum += bufs[m][v]
+				for _, u := range tr.Neighbors(graph.VertexID(v)) {
+					sum += contrib[u]
 				}
 				next := base + damping*sum
 				d := next - ranks[v]
@@ -273,7 +279,7 @@ func (e *Engine) pageRankPush(iters int, damping, tol float64) (*PRResult, error
 				delta += d
 				ranks[v] = next
 			}
-			deltas[chunk] = delta
+			deltas[c] = delta
 		})
 		res.Delta = 0
 		for _, d := range deltas {
@@ -312,20 +318,23 @@ type CCResult struct {
 
 // ConnectedComponents runs frontier-based label propagation over the
 // undirected closure (out- and in-edges) until convergence, computing weak
-// components. maxIters <= 0 means "until convergence".
+// components. maxIters <= 0 means "until convergence". The propagation is
+// one edge-map per superstep: the frontier (initially every vertex)
+// scatters labels with a min-combine, and the vertices whose label
+// improved form the next frontier.
 func (e *Engine) ConnectedComponents(maxIters int) (*CCResult, error) {
 	n := e.g.NumVertices()
-	k := e.cl.NumMachines()
-	tr := e.transpose()
 	labels := make([]uint32, n)
-	active := make([]bool, n)
 	for v := range labels {
 		labels[v] = uint32(v)
-		active[v] = true
 	}
-	bufs := make([][]uint32, k)
-	for m := range bufs {
-		bufs[m] = make([]uint32, n)
+	frontier := FullVertexSubset(n)
+	st := e.newKernelState()
+	spec := &edgeMapSpec{
+		value:      func(src, dst graph.VertexID) uint64 { return uint64(labels[src]) },
+		cur:        func(v graph.VertexID) uint64 { return uint64(labels[v]) },
+		apply:      func(v graph.VertexID, key uint64) { labels[v] = uint32(key) },
+		undirected: true,
 	}
 	res := &CCResult{}
 	it := -1
@@ -333,15 +342,15 @@ func (e *Engine) ConnectedComponents(maxIters int) (*CCResult, error) {
 		err := e.flt.BeginRun(fault.Hooks{
 			Save: func() any {
 				return &ccSnap{
-					labels: append([]uint32(nil), labels...),
-					active: append([]bool(nil), active...),
-					it:     it,
+					labels:   append([]uint32(nil), labels...),
+					frontier: subsetMembers(frontier),
+					it:       it,
 				}
 			},
 			Restore: func(s any) {
 				sn := s.(*ccSnap)
 				copy(labels, sn.labels)
-				active = append([]bool(nil), sn.active...)
+				frontier = SubsetFromVertices(n, append([]graph.VertexID(nil), sn.frontier...))
 				it = sn.it
 			},
 			Reassign: func(dead int, assignment []int) { e.reassign(assignment) },
@@ -353,70 +362,13 @@ func (e *Engine) ConnectedComponents(maxIters int) (*CCResult, error) {
 	sp := e.tel.Span("engine.cc", telemetry.Int("max_iters", maxIters))
 	for it = 0; maxIters <= 0 || it < maxIters; it++ {
 		w := e.cl.NewCounters()
-		e.cl.Parallel(func(m int) {
-			buf := bufs[m]
-			for i := range buf {
-				buf[i] = labels[i]
-			}
-			var edges, msgs, verts int64
-			var prow []int64
-			if w.Pairs != nil {
-				prow = w.Pairs[m]
-			}
-			propose := func(v graph.VertexID, ns []graph.VertexID, l uint32) {
-				for _, u := range ns {
-					edges++
-					if o := e.cl.Owner(u); o != m {
-						msgs++
-						if prow != nil {
-							prow[o]++
-						}
-					}
-					if l < buf[u] {
-						buf[u] = l
-					}
-				}
-			}
-			for _, v := range e.owned[m] {
-				if !active[v] {
-					continue
-				}
-				verts++
-				l := labels[v]
-				propose(v, e.g.Neighbors(v), l)
-				propose(v, tr.Neighbors(v), l)
-			}
-			w.Edges[m] = edges
-			w.Messages[m] = msgs
-			w.Vertices[m] = verts
-		})
-		changed := make([]bool, k)
-		nextActive := make([]bool, n)
-		mergeParallel(n, k, func(chunk, lo, hi int) {
-			for v := lo; v < hi; v++ {
-				minL := labels[v]
-				for m := 0; m < k; m++ {
-					if bufs[m][v] < minL {
-						minL = bufs[m][v]
-					}
-				}
-				if minL < labels[v] {
-					labels[v] = minL
-					nextActive[v] = true
-					changed[chunk] = true
-				}
-			}
-		})
-		active = nextActive
+		out := e.edgeMap(spec, st, frontier, 0, w)
+		frontier = out.frontier
 		res.Stats.Add(e.cl.FinishIteration(w))
 		if e.flt != nil && e.flt.EndSuperstep(&res.Stats) == fault.Restored {
 			continue
 		}
-		anyChanged := false
-		for _, c := range changed {
-			anyChanged = anyChanged || c
-		}
-		if !anyChanged {
+		if frontier.Len() == 0 {
 			break
 		}
 	}
@@ -453,29 +405,38 @@ func (e *Engine) BFS(source graph.VertexID) (*BFSResult, error) {
 	if int(source) >= n {
 		return nil, fmt.Errorf("engine: BFS source %d out of range", source)
 	}
-	k := e.cl.NumMachines()
 	dist := make([]int32, n)
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[source] = 0
-	frontier := []graph.VertexID{source}
-	discovered := make([][]graph.VertexID, k)
+	frontier := SubsetFromVertices(n, []graph.VertexID{source})
+	st := e.newKernelState()
 	res := &BFSResult{}
 	depth := int32(0)
+	spec := &edgeMapSpec{
+		value: func(src, dst graph.VertexID) uint64 { return uint64(depth) },
+		cur: func(v graph.VertexID) uint64 {
+			if dist[v] < 0 {
+				return unsetKey
+			}
+			return uint64(dist[v])
+		},
+		apply: func(v graph.VertexID, key uint64) { dist[v] = int32(key) },
+	}
 	if e.flt != nil {
 		err := e.flt.BeginRun(fault.Hooks{
 			Save: func() any {
 				return &bfsSnap{
 					dist:     append([]int32(nil), dist...),
-					frontier: append([]graph.VertexID(nil), frontier...),
+					frontier: subsetMembers(frontier),
 					depth:    depth,
 				}
 			},
 			Restore: func(s any) {
 				sn := s.(*bfsSnap)
 				copy(dist, sn.dist)
-				frontier = append([]graph.VertexID(nil), sn.frontier...)
+				frontier = SubsetFromVertices(n, append([]graph.VertexID(nil), sn.frontier...))
 				depth = sn.depth
 			},
 			Reassign: func(dead int, assignment []int) { e.reassign(assignment) },
@@ -485,52 +446,11 @@ func (e *Engine) BFS(source graph.VertexID) (*BFSResult, error) {
 		}
 	}
 	sp := e.tel.Span("engine.bfs", telemetry.Int("source", int(source)))
-	for depth = 1; len(frontier) > 0; depth++ {
-		e.reg.Histogram("engine_bfs_frontier_vertices").Observe(float64(len(frontier)))
+	for depth = 1; frontier.Len() > 0; depth++ {
+		e.reg.Histogram("engine_bfs_frontier_vertices").Observe(float64(frontier.Len()))
 		w := e.cl.NewCounters()
-		// Split the frontier by owner so each machine scans its own part.
-		byOwner := make([][]graph.VertexID, k)
-		for _, v := range frontier {
-			m := e.cl.Owner(v)
-			byOwner[m] = append(byOwner[m], v)
-		}
-		e.cl.Parallel(func(m int) {
-			discovered[m] = discovered[m][:0]
-			var edges, msgs, verts int64
-			var prow []int64
-			if w.Pairs != nil {
-				prow = w.Pairs[m]
-			}
-			for _, v := range byOwner[m] {
-				verts++
-				for _, u := range e.g.Neighbors(v) {
-					edges++
-					if o := e.cl.Owner(u); o != m {
-						msgs++
-						if prow != nil {
-							prow[o]++
-						}
-					}
-					if dist[u] == -1 {
-						// Benign duplicate proposals are deduplicated
-						// in the merge below.
-						discovered[m] = append(discovered[m], u)
-					}
-				}
-			}
-			w.Edges[m] = edges
-			w.Messages[m] = msgs
-			w.Vertices[m] = verts
-		})
-		frontier = frontier[:0]
-		for m := 0; m < k; m++ {
-			for _, u := range discovered[m] {
-				if dist[u] == -1 {
-					dist[u] = depth
-					frontier = append(frontier, u)
-				}
-			}
-		}
+		out := e.edgeMap(spec, st, frontier, 0, w)
+		frontier = out.frontier
 		res.Stats.Add(e.cl.FinishIteration(w))
 		if e.flt != nil && e.flt.EndSuperstep(&res.Stats) == fault.Restored {
 			continue
@@ -552,23 +472,4 @@ func (e *Engine) BFS(source graph.VertexID) (*BFSResult, error) {
 		telemetry.Int("reached", res.Reached),
 		telemetry.Float("sim_time_us", res.Stats.TotalTime()))
 	return res, nil
-}
-
-// mergeParallel splits [0,n) into one contiguous chunk per worker and runs
-// fn(worker, lo, hi) on each chunk concurrently.
-func mergeParallel(n, workers int, fn func(worker, lo, hi int)) {
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for wkr := 0; wkr < workers; wkr++ {
-		lo := wkr * n / workers
-		hi := (wkr + 1) * n / workers
-		go func(wkr, lo, hi int) {
-			defer wg.Done()
-			fn(wkr, lo, hi)
-		}(wkr, lo, hi)
-	}
-	wg.Wait()
 }

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"bpart/internal/fault"
+)
+
+// The race battery: parallel supersteps under the race detector, with
+// fault injection firing at a superstep boundary while the worker pool is
+// live, and independent engines running concurrently. `go test -race -run
+// Parallel` is the CI entry point; every test here doubles as a byte-
+// identity check against a sequential run of the same schedule.
+
+// faultSpec loads a fault schedule fixture fresh for each engine (the
+// controller owns its spec once attached).
+func faultSpec(t testing.TB, name string) *fault.Spec {
+	t.Helper()
+	spec, err := fault.ReadSpecFile("../fault/testdata/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// parallelFaultEngine is faultEngine plus a live worker pool and the comm
+// matrix enabled, so recovery runs with workers scanning while the
+// controller crashes and restores machines at barriers.
+func parallelFaultEngine(t testing.TB, spec *fault.Spec, workers int) *Engine {
+	t.Helper()
+	e := faultEngine(t, testGraph(t), 4, spec)
+	e.Cluster().SetCommMatrix(true)
+	e.Cluster().SetWorkers(workers)
+	return e
+}
+
+// TestParallelRollbackCrashByteIdentical crashes machine 1 at superstep 5
+// under the rollback policy while four workers drive the supersteps; the
+// recovered run must match the sequential run of the same schedule byte
+// for byte (results, RunStats, recovery stats and comm matrix).
+func TestParallelRollbackCrashByteIdentical(t *testing.T) {
+	for _, algo := range []parallelAlgo{
+		{"PageRank", func(e *Engine) ([]byte, error) { return marshalRun(e.PageRank(10, 0.85)) }},
+		{"PageRankPull", func(e *Engine) ([]byte, error) { return marshalRun(e.PageRankPull(10, 0.85)) }},
+		{"CC", func(e *Engine) ([]byte, error) { return marshalRun(e.ConnectedComponents(0)) }},
+		{"BFS", func(e *Engine) ([]byte, error) { return marshalRun(e.BFS(0)) }},
+	} {
+		ref, err := algo.run(parallelFaultEngine(t, faultSpec(t, "crash5.json"), 1))
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", algo.name, err)
+		}
+		for _, wk := range []int{2, 4} {
+			got, err := algo.run(parallelFaultEngine(t, faultSpec(t, "crash5.json"), wk))
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", algo.name, wk, err)
+			}
+			if !bytes.Equal(got, ref) {
+				t.Errorf("%s workers=%d: crash+rollback run differs from sequential run of the same schedule", algo.name, wk)
+			}
+		}
+	}
+}
+
+// TestParallelRestreamCrashByteIdentical covers the other recovery policy:
+// the crash is permanent, survivors take over the dead machine's vertices,
+// and the reassigned run continues on the live worker pool. Determinism
+// must survive the mid-run repartition.
+func TestParallelRestreamCrashByteIdentical(t *testing.T) {
+	run := func(e *Engine) ([]byte, error) { return marshalRun(e.PageRank(10, 0.85)) }
+	ref, err := run(parallelFaultEngine(t, faultSpec(t, "crash5_restream.json"), 1))
+	if err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	for _, wk := range []int{2, 4} {
+		got, err := run(parallelFaultEngine(t, faultSpec(t, "crash5_restream.json"), wk))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", wk, err)
+		}
+		if !bytes.Equal(got, ref) {
+			t.Errorf("workers=%d: crash+restream run differs from sequential run of the same schedule", wk)
+		}
+	}
+}
+
+// TestParallelConcurrentEngines runs independent engines, each with its
+// own 4-worker pool (one of them under fault injection), at the same
+// time. Engines share no mutable state, so the race detector staying
+// quiet here certifies the kernel's state is fully per-engine.
+func TestParallelConcurrentEngines(t *testing.T) {
+	g := testGraph(t)
+	type job struct {
+		name string
+		e    *Engine
+		run  func(e *Engine) ([]byte, error)
+	}
+	jobs := []job{
+		{"pagerank", schemeEngine(t, g, "Chunk-V", 4), func(e *Engine) ([]byte, error) { return marshalRun(e.PageRank(10, 0.85)) }},
+		{"cc", schemeEngine(t, g, "Hash", 4), func(e *Engine) ([]byte, error) { return marshalRun(e.ConnectedComponents(0)) }},
+		{"sssp", schemeEngine(t, g, "Chunk-E", 4), func(e *Engine) ([]byte, error) { return marshalRun(e.SSSP(0)) }},
+		{"faulted", parallelFaultEngine(t, faultSpec(t, "crash5.json"), 4), func(e *Engine) ([]byte, error) { return marshalRun(e.PageRank(10, 0.85)) }},
+	}
+	refs := make([][]byte, len(jobs))
+	for i, j := range jobs {
+		j.e.Cluster().SetWorkers(1)
+		b, err := j.run(j.e)
+		if err != nil {
+			t.Fatalf("%s reference: %v", j.name, err)
+		}
+		refs[i] = b
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(jobs))
+	got := make([][]byte, len(jobs))
+	for i, j := range jobs {
+		j.e.Cluster().SetWorkers(4)
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			got[i], errs[i] = j.run(j.e)
+		}(i, j)
+	}
+	wg.Wait()
+	for i, j := range jobs {
+		if errs[i] != nil {
+			t.Fatalf("%s: %v", j.name, errs[i])
+		}
+		if !bytes.Equal(got[i], refs[i]) {
+			t.Errorf("%s: concurrent 4-worker run differs from its own sequential run", j.name)
+		}
+	}
+}

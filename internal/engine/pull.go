@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"bpart/internal/fault"
 	"bpart/internal/graph"
@@ -14,6 +15,12 @@ import (
 // and cached for the iteration, so the message count is the number of
 // mirrors touched rather than the number of cut edges — the reason pull
 // mode wins on dense iterations over high-cut partitions.
+//
+// On the worker pool, each owned vertex's float sum is produced by exactly
+// one shard in transpose adjacency order, and mirror stamps advance by
+// compare-and-swap so exactly one shard counts each (machine, mirror)
+// fetch per iteration — ranks and message counts are bit-identical at any
+// worker count.
 //
 // The returned ranks are identical (up to float association order) to the
 // push-mode PageRank.
@@ -42,7 +49,8 @@ func (e *Engine) PageRankPull(iters int, damping float64) (*PRResult, error) {
 			stamps[m][i] = -1
 		}
 	}
-	dangling := make([]float64, k)
+	chunks := shardCount(n)
+	dangling := make([]float64, chunks)
 
 	res := &PRResult{}
 	it := -1
@@ -71,8 +79,9 @@ func (e *Engine) PageRankPull(iters int, damping float64) (*PRResult, error) {
 		}
 	}
 	for it = 0; it < iters; it++ {
-		// Pre-phase: per-vertex contribution and dangling mass.
-		mergeParallel(n, k, func(chunk, lo, hi int) {
+		// Pre-phase: per-vertex contribution and dangling mass, per-chunk
+		// partials reduced in chunk order.
+		e.chunkMap(n, func(c, lo, hi int) {
 			var dang float64
 			for v := lo; v < hi; v++ {
 				if d := e.g.OutDegree(graph.VertexID(v)); d > 0 {
@@ -82,7 +91,7 @@ func (e *Engine) PageRankPull(iters int, damping float64) (*PRResult, error) {
 					dang += ranks[v]
 				}
 			}
-			dangling[chunk] = dang
+			dangling[c] = dang
 		})
 		var danglingSum float64
 		for _, d := range dangling {
@@ -91,36 +100,40 @@ func (e *Engine) PageRankPull(iters int, damping float64) (*PRResult, error) {
 		base := (1-damping)/float64(n) + damping*danglingSum/float64(n)
 
 		w := e.cl.NewCounters()
-		e.cl.Parallel(func(m int) {
-			stamp := stamps[m]
-			var edges, msgs, verts int64
-			var prow []int64
-			if w.Pairs != nil {
-				prow = w.Pairs[m]
-			}
-			for _, v := range e.owned[m] {
-				verts++
+		tasks := e.ownedShards()
+		tcs := newTaskCounters(len(tasks), k, w.Pairs != nil)
+		e.cl.RunTasks(len(tasks), func(t int) {
+			ts, tc := tasks[t], &tcs[t]
+			stamp := stamps[ts.m]
+			for _, v := range e.owned[ts.m][ts.lo:ts.hi] {
+				tc.verts++
 				var sum float64
 				for _, u := range tr.Neighbors(v) {
-					edges++
-					// Matrix row = the requesting machine m (who is charged
+					tc.edges++
+					// Matrix row = the requesting machine (who is charged
 					// for the fetch), column = the mirror's home machine —
 					// in pull mode traffic flows toward the row machine.
-					if o := e.cl.Owner(u); o != m && stamp[u] != int32(it) {
-						stamp[u] = int32(it)
-						msgs++
-						if prow != nil {
-							prow[o]++
+					if o := e.cl.Owner(u); o != ts.m {
+						for {
+							cur := atomic.LoadInt32(&stamp[u])
+							if cur == int32(it) {
+								break // already fetched this iteration
+							}
+							if atomic.CompareAndSwapInt32(&stamp[u], cur, int32(it)) {
+								tc.msgs++
+								if tc.prow != nil {
+									tc.prow[o]++
+								}
+								break
+							}
 						}
 					}
 					sum += contrib[u]
 				}
 				next[v] = base + damping*sum
 			}
-			w.Edges[m] = edges
-			w.Messages[m] = msgs
-			w.Vertices[m] = verts
 		})
+		combineCounters(w, tasks, tcs)
 		ranks, next = next, ranks
 		res.Stats.Add(e.cl.FinishIteration(w))
 		if e.flt != nil && e.flt.EndSuperstep(&res.Stats) == fault.Restored {

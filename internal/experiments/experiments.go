@@ -62,6 +62,14 @@ type Options struct {
 	// power-of-two ladder up to NumCPU. Every width must be >= 1, and the
 	// speedup/efficiency columns need width 1 as their baseline.
 	Widths []int
+	// Workers is the superstep worker-pool size for every iteration engine
+	// an experiment builds (cmd/bench -workers). 0 or 1 run supersteps
+	// inline on the machine goroutine — today's behavior. The engines'
+	// outputs and counters are bit-identical at any setting; only host wall
+	// time changes, so every deterministic table and artifact section is
+	// unaffected. The Parallel Speedup experiment sweeps its own ladder and
+	// ignores this.
+	Workers int
 }
 
 func (o Options) scale() float64 {
@@ -173,6 +181,7 @@ func All() []Experiment {
 		{"Fault Recovery", FaultRecovery},
 		{"Comm Matrix", CommMatrix},
 		{"Scaling Probe", ScalingProbe},
+		{"Parallel Speedup", ParallelSpeedup},
 	}
 }
 
@@ -346,6 +355,7 @@ func iterEngine(d gen.Dataset, opt Options, scheme string, k int) (*engine.Engin
 	if err != nil {
 		return nil, err
 	}
+	e.Cluster().SetWorkers(opt.Workers)
 	tr, err := transposeOf(d, opt)
 	if err != nil {
 		return nil, err

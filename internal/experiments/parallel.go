@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"bpart/internal/engine"
+	"bpart/internal/gen"
+	"bpart/internal/resview"
+	"bpart/internal/telemetry"
+)
+
+// The parallel speedup harness measures the engine-side half of ROADMAP
+// item 1: real shared-memory parallel supersteps. Each iteration engine is
+// run at every width of the worker ladder on the largest reference dataset
+// and timed with telemetry.Stopwatch (the sanctioned wall-clock route
+// inside the noclock boundary); every measured run is also marshaled and
+// compared byte for byte against a 1-worker reference run, so each point
+// doubles as a bit-identity proof. Wall columns are the only
+// nondeterministic output: simulated times, counters and results are
+// identical at every width by the kernel's determinism contract.
+
+// parallelDataset is the speedup workload: friendster-sim, the largest
+// reference preset (the acceptance dataset for the >1.5×-at-4-workers
+// criterion).
+const parallelDataset = gen.FriendsterSim
+
+// parallelPRIters matches the paper's ten PageRank iterations.
+const parallelPRIters = 10
+
+// benchParallelSchemes is the always-collected BENCH subset: the baseline
+// scheme and BPart. The experiment table sweeps all of compareSchemes.
+var benchParallelSchemes = []string{"Chunk-V", "BPart"}
+
+// benchParallelWidths is the artifact section's fixed ladder. Unlike the
+// experiment table (which honors -widths), the BENCH section keeps a
+// host-independent ladder so the artifact's row set — and under
+// -deterministic its bytes — never depends on -widths, -resources or
+// -workers.
+var benchParallelWidths = []int{1, 2, 4}
+
+// parallelEngineSpec is one engine workload of the sweep: run executes the
+// algorithm and returns the marshaled result (outputs + RunStats, the
+// byte-identity evidence) plus the run's simulated time.
+type parallelEngineSpec struct {
+	name string
+	run  func(e *engine.Engine) ([]byte, float64, error)
+}
+
+func parallelEngineSpecs() []parallelEngineSpec {
+	return []parallelEngineSpec{
+		{"PageRank", func(e *engine.Engine) ([]byte, float64, error) {
+			r, err := e.PageRank(parallelPRIters, 0.85)
+			if err != nil {
+				return nil, 0, err
+			}
+			b, err := json.Marshal(r)
+			return b, r.Stats.TotalTime(), err
+		}},
+		{"CC", func(e *engine.Engine) ([]byte, float64, error) {
+			r, err := e.ConnectedComponents(0)
+			if err != nil {
+				return nil, 0, err
+			}
+			b, err := json.Marshal(r)
+			return b, r.Stats.TotalTime(), err
+		}},
+	}
+}
+
+// ParallelMeasurement is one (engine, scheme, workers) point of the sweep.
+type ParallelMeasurement struct {
+	Engine  string
+	Scheme  string
+	Workers int
+	// WallUS is the best-of-N host wall time; nondeterministic.
+	WallUS float64
+	// SimTimeUS is the run's simulated time — identical at every width.
+	SimTimeUS float64
+	// Identical reports that every repetition's marshaled results and
+	// RunStats matched the 1-worker reference byte for byte.
+	Identical bool
+}
+
+// runParallel sweeps engines × schemes × widths on parallelDataset.
+// Engines are built quiet (no tracer, metrics, probe, or faults): the
+// sweep re-runs each workload many times, and feeding those repetitions
+// into the run's trace or histograms would make every observability
+// artifact depend on the ladder. The harness instead emits one resview
+// ScalingPhase span per repetition through opt.Probe, exactly like the
+// scaling probe.
+func runParallel(opt Options, schemes []string, widths []int) ([]ParallelMeasurement, error) {
+	quiet := opt
+	quiet.Tracer, quiet.Metrics, quiet.Probe, quiet.Faults = nil, nil, nil, nil
+	quiet.Workers = 0
+	var out []ParallelMeasurement
+	for _, scheme := range schemes {
+		e, err := iterEngine(parallelDataset, quiet, scheme, benchPartitionK)
+		if err != nil {
+			return nil, fmt.Errorf("parallel speedup: %w", err)
+		}
+		for _, spec := range parallelEngineSpecs() {
+			// The 1-worker reference run: its bytes are the identity oracle
+			// for every width (and it warms the graph/partition memos).
+			e.Cluster().SetWorkers(1)
+			ref, _, err := spec.run(e)
+			if err != nil {
+				return nil, fmt.Errorf("parallel speedup: %s/%s reference: %w", spec.name, scheme, err)
+			}
+			for _, wk := range widths {
+				if wk < 1 {
+					return nil, fmt.Errorf("parallel speedup: width %d, want >= 1", wk)
+				}
+				e.Cluster().SetWorkers(wk)
+				m := ParallelMeasurement{Engine: spec.name, Scheme: scheme, Workers: wk, WallUS: -1, Identical: true}
+				for rep := 0; rep < scalingReps; rep++ {
+					var pe telemetry.PhaseEnd
+					if opt.Probe != nil {
+						pe = opt.Probe.BeginPhase(resview.ScalingPhase,
+							telemetry.String("scheme", spec.name+"/"+scheme),
+							telemetry.Int("workers", wk))
+					}
+					sw := telemetry.NewStopwatch()
+					b, sim, err := spec.run(e)
+					us := sw.Seconds() * 1e6
+					if pe != nil {
+						pe.EndPhase()
+					}
+					if err != nil {
+						return nil, fmt.Errorf("parallel speedup: %s/%s at %d workers: %w", spec.name, scheme, wk, err)
+					}
+					m.SimTimeUS = sim
+					m.Identical = m.Identical && bytes.Equal(b, ref)
+					if m.WallUS < 0 || us < m.WallUS {
+						m.WallUS = us
+					}
+				}
+				out = append(out, m)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RunParallelSpeedup measures every compare scheme's engines at every
+// width of opt.widths().
+func RunParallelSpeedup(opt Options) ([]ParallelMeasurement, error) {
+	return runParallel(opt, compareSchemes, opt.widths())
+}
+
+// ParallelSpeedup is the experiment wrapper: the measured superstep
+// speedup curve as a table, every point verified bit-identical to the
+// sequential run.
+func ParallelSpeedup(opt Options) (*Table, error) {
+	ms, err := RunParallelSpeedup(opt)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Parallel Speedup",
+		Title:  "Parallel superstep scaling (friendster-sim, host wall-clock, outputs verified bit-identical)",
+		Header: []string{"engine", "scheme", "workers", "wall", "speedup", "efficiency", "sim_time_us", "identical"},
+	}
+	type curve struct{ eng, scheme string }
+	base := map[curve]float64{}
+	for _, m := range ms {
+		if m.Workers == 1 {
+			base[curve{m.Engine, m.Scheme}] = m.WallUS
+		}
+	}
+	for _, m := range ms {
+		speedup, eff := 0.0, 0.0
+		if b := base[curve{m.Engine, m.Scheme}]; b > 0 && m.WallUS > 0 {
+			speedup = b / m.WallUS
+			eff = speedup / float64(m.Workers)
+		}
+		t.AddRow(m.Engine, m.Scheme, d0(m.Workers), fmt.Sprintf("%.2fms", m.WallUS/1e3),
+			f2(speedup), f2(eff), f2(m.SimTimeUS), fmt.Sprintf("%t", m.Identical))
+	}
+	t.Notes = append(t.Notes,
+		"wall-clock timings vary by host; the identical column proves every width's results and RunStats matched the 1-worker run byte for byte",
+		"sim_time_us is the cost model's verdict and is identical at every width by construction",
+		"acceptance tracks PageRank at 4 workers on this dataset against the >1.5x bar (meaningful only on hosts with >= 4 CPUs)")
+	return t, nil
+}
+
+// CollectParallel fills the artifact's parallel section from one sweep
+// over the BENCH scheme subset. The section is additive (omitempty) and —
+// like resources — its wall/speedup columns are the only nondeterministic
+// fields; StripWallClock zeroes them, leaving the simulated times and the
+// identity verdicts, which are independent of the ladder and of
+// Options.Workers.
+func (a *BenchArtifact) CollectParallel(opt Options) error {
+	// The section's sweep is an internal fixed ladder; the resource log's
+	// scaling spans reflect the user-requested -widths ladder only, so the
+	// probe stays out of this run (the Parallel Speedup experiment emits
+	// the observable spans).
+	opt.Probe = nil
+	ms, err := runParallel(opt, benchParallelSchemes, benchParallelWidths)
+	if err != nil {
+		return err
+	}
+	type curve struct{ eng, scheme string }
+	base := map[curve]float64{}
+	for _, m := range ms {
+		if m.Workers == 1 {
+			base[curve{m.Engine, m.Scheme}] = m.WallUS
+		}
+	}
+	for _, m := range ms {
+		p := BenchParallel{
+			Graph:     string(parallelDataset),
+			Engine:    m.Engine,
+			Scheme:    m.Scheme,
+			K:         benchPartitionK,
+			Workers:   m.Workers,
+			WallUS:    m.WallUS,
+			SimTimeUS: m.SimTimeUS,
+			Identical: m.Identical,
+		}
+		if b := base[curve{m.Engine, m.Scheme}]; b > 0 && m.WallUS > 0 {
+			p.Speedup = b / m.WallUS
+			p.Efficiency = p.Speedup / float64(m.Workers)
+		}
+		a.Parallel = append(a.Parallel, p)
+	}
+	return nil
+}

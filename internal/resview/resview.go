@@ -38,9 +38,11 @@ const (
 	KindLap  = "lap"
 )
 
-// ScalingPhase is the phase name the scaling-probe harness
-// (internal/experiments) records one span per (scheme, workers) replay
-// under; Curves derives the speedup plot from records with this name.
+// ScalingPhase is the phase name the scaling-probe and parallel-speedup
+// harnesses (internal/experiments) record one span per (scheme, workers)
+// repetition under; Curves derives the speedup plot from records with this
+// name. The parallel harness namespaces its schemes as "Engine/Scheme"
+// (e.g. "PageRank/BPart"), so its curves sort after the probe's.
 const ScalingPhase = "scaling.replay"
 
 // Record is one parsed resource record: the runtime's resource deltas over
